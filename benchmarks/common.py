@@ -1,0 +1,89 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md's
+per-experiment index) and prints the same rows/series the paper reports.
+Absolute numbers are in technology-free gate units (unit-delay gates), so
+the *shape* — who wins and by roughly what factor — is the reproduction
+target, not the paper's ns/µm² (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import DatapathOptimizer, OptimizerConfig
+from repro.designs import Design
+from repro.ir.expr import Expr
+from repro.rtl import module_to_ir
+from repro.synth import SynthesisPoint, min_delay_point
+from repro.verify import EquivalenceResult, check_equivalent
+
+
+@dataclass
+class BenchRun:
+    """One optimized design plus its measurement points.
+
+    Two measurement layers (see EXPERIMENTS.md): the Section IV-D *model*
+    cost — the paper's own extraction objective, where constraint-aware
+    wins are directly visible — and the gate-level *netlist* min-delay
+    synthesis point, our substitute for the commercial flow.
+    """
+
+    design: Design
+    behavioural: Expr
+    optimized: Expr
+    behavioural_point: SynthesisPoint
+    optimized_point: SynthesisPoint
+    model_before: "object"
+    model_after: "object"
+    equivalence: EquivalenceResult
+    egraph_nodes: int
+    egraph_classes: int
+    iterations: int
+    runtime: float
+
+
+def run_design(design: Design, verify_trials: int = 3000) -> BenchRun:
+    """Optimize one benchmark and synthesize both versions at min delay."""
+    behavioural = module_to_ir(design.verilog)[design.output]
+    config = OptimizerConfig(
+        iter_limit=design.iterations,
+        node_limit=design.node_limit,
+        verify=False,
+    )
+    tool = DatapathOptimizer(design.input_ranges, config)
+    result = tool.optimize_verilog(design.verilog).outputs[design.output]
+    equivalence = check_equivalent(
+        behavioural, result.optimized, design.input_ranges,
+        random_trials=verify_trials,
+    )
+    assert equivalence.ok, f"{design.name}: optimizer broke equivalence"
+    return BenchRun(
+        design=design,
+        behavioural=behavioural,
+        optimized=result.optimized,
+        behavioural_point=min_delay_point(behavioural, design.input_ranges),
+        optimized_point=min_delay_point(result.optimized, design.input_ranges),
+        model_before=result.original_cost,
+        model_after=result.optimized_cost,
+        equivalence=equivalence,
+        egraph_nodes=result.report.nodes,
+        egraph_classes=result.report.classes,
+        iterations=len(result.report.iterations),
+        runtime=result.runtime,
+    )
+
+
+def table_row(run: BenchRun) -> str:
+    """A Table III style row: netlist min-delay point plus model cost."""
+    b, o = run.behavioural_point, run.optimized_point
+    d_pct = 100.0 * (o.delay - b.delay) / b.delay
+    a_pct = 100.0 * (o.area - b.area) / b.area
+    mb, mo = run.model_before, run.model_after
+    md = 100.0 * (mo.delay - mb.delay) / mb.delay if mb.delay else 0.0
+    ma = 100.0 * (mo.area - mb.area) / mb.area if mb.area else 0.0
+    return (
+        f"{run.design.name:<16} netlist {b.delay:>6.1f}/{b.area:>7.1f} -> "
+        f"{o.delay:>6.1f} ({d_pct:+3.0f}%) /{o.area:>7.1f} ({a_pct:+3.0f}%)  "
+        f"model ({md:+3.0f}% / {ma:+3.0f}%)  [{run.equivalence}]"
+    )

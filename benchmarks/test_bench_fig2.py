@@ -1,0 +1,79 @@
+"""Section V case study: FP subtractor e-graph growth and architecture.
+
+The paper reports: 11 iterations of rewriting grow an e-graph of roughly
+40,000 nodes and 14,000 classes (22 minutes, Rust); the extracted design is
+the dual-path architecture of Figure 2b, verified equivalent by DPV.
+
+This bench reports our growth trajectory (same order of magnitude, Python
+time scale), verifies equivalence of the extracted design, and compares the
+tool's output against both the behavioural input and the hand-written
+Figure 2b reference (which our equivalence checker also validates against
+the behavioural design — the checker must accept a *true* architectural
+rewrite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import run_design
+from repro.designs import DESIGNS, fp_sub_dual_path_ir
+from repro.synth import min_delay_point
+from repro.verify import check_equivalent
+
+_CACHE: dict = {}
+
+
+def _run():
+    if "run" not in _CACHE:
+        _CACHE["run"] = run_design(DESIGNS["fp_sub"])
+    return _CACHE["run"]
+
+
+def test_fig2_egraph_growth(benchmark):
+    run = benchmark.pedantic(_run, iterations=1, rounds=1)
+    print(
+        f"\nSection V stats: {run.iterations} iterations, "
+        f"{run.egraph_nodes} nodes, {run.egraph_classes} classes, "
+        f"{run.runtime:.1f}s (paper: 11 iters, ~40k nodes, ~14k classes)"
+    )
+    assert run.egraph_nodes > 1_000, "e-graph barely grew; rewrites not firing"
+    assert run.equivalence.ok
+
+
+def test_fig2b_reference_is_equivalent():
+    """The hand-written dual-path (Fig. 2b) equals the behavioural design."""
+    run = _run()
+    dual = fp_sub_dual_path_ir()
+    verdict = check_equivalent(
+        run.behavioural, dual, run.design.input_ranges, random_trials=8000
+    )
+    print(f"\nFig. 2b reference vs behavioural: {verdict}")
+    assert verdict.ok
+
+
+def test_fig2b_reference_dominates_behavioural():
+    """Fig. 2b's dual path is smaller at comparable delay (the paper's
+    motivation for the whole case study)."""
+    run = _run()
+    dual_point = min_delay_point(fp_sub_dual_path_ir(), run.design.input_ranges)
+    b = run.behavioural_point
+    print(
+        f"\nFig. 2b reference: delay {dual_point.delay:.1f} area "
+        f"{dual_point.area:.1f} vs behavioural {b.delay:.1f}/{b.area:.1f}"
+    )
+    assert dual_point.area < b.area * 0.8
+    assert dual_point.delay <= b.delay * 1.05
+
+
+def test_tool_output_not_worse_than_behavioural():
+    run = _run()
+    b, o = run.behavioural_point, run.optimized_point
+    print(f"\ntool: delay {o.delay:.1f}/{o.area:.1f} vs behav {b.delay:.1f}/{b.area:.1f}")
+    # Honest partial reproduction (see EXPERIMENTS.md E2): the tool's output
+    # must improve at least one axis without a large regression on the
+    # other; full Fig. 2b dominance is reached by the hand-written
+    # reference, tested above.
+    assert o.delay <= b.delay * 1.05
+    assert o.area <= b.area * 1.25
+    assert o.delay < b.delay or o.area < b.area

@@ -1,0 +1,58 @@
+"""The paper's introductory examples, built directly on the library API.
+
+Run:  python examples/constraint_basics.py
+
+1. ``(x > 0 ? fabs(x) : 0) == (x > 0 ? x : 0)``  (Section III-A)
+2. ``a == 0 ? a : -a  ==  a == 0 ? 0 : -a``      (Section IV-B)
+3. Figure 1: ``LZC(x + y)`` narrows under ``x >= 128``.
+"""
+
+from repro.analysis import DatapathAnalysis, range_of
+from repro.egraph import EGraph, Extractor, Runner
+from repro.intervals import IntervalSet
+from repro.ir import abs_, eq, gt, lzc, mux, var
+from repro.rewrites import all_rules
+from repro.synth import DelayAreaCost
+from repro.verify import check_equivalent
+
+
+def optimize(expr, input_ranges=None, iters=8):
+    graph = EGraph([DatapathAnalysis(dict(input_ranges or {}))])
+    root = graph.add_expr(expr)
+    graph.rebuild()
+    report = Runner(graph, all_rules(), iter_limit=iters, node_limit=6000).run()
+    best = Extractor(graph, DelayAreaCost()).expr_of(root)
+    return best, report, graph, root
+
+
+def main() -> None:
+    # --- 1: the fabs example (x as a signed-style offset value) ----------
+    x = var("x", 8)
+    xs = x - 128                       # value in [-128, 127]
+    design = mux(gt(xs, 0), abs_(xs), 0)
+    best, report, _, _ = optimize(design)
+    print("fabs example:", design)
+    print("  optimized ->", best)
+    print("  ", check_equivalent(design, best))
+
+    # --- 2: the negation example ------------------------------------------
+    a = var("a", 8)
+    design2 = mux(eq(a, 0), a, -a)
+    best2, _, _, _ = optimize(design2)
+    print("negation example:", design2)
+    print("  optimized ->", best2)
+    print("  ", check_equivalent(design2, best2))
+
+    # --- 3: Figure 1 --------------------------------------------------------
+    y = var("y", 8)
+    fig1 = lzc(x + y, 9)
+    ranges = {"x": IntervalSet.of(128, 255)}
+    best3, _, graph, root = optimize(fig1, ranges)
+    print("Figure 1:", fig1, "with x >= 128")
+    print("  optimized ->", best3)
+    print("  LZC range:", range_of(graph, root), "(paper: at most one leading zero)")
+    print("  ", check_equivalent(fig1, best3, ranges))
+
+
+if __name__ == "__main__":
+    main()

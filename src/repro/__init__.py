@@ -1,0 +1,33 @@
+"""repro — constraint-aware datapath optimization using e-graphs.
+
+A from-scratch Python reproduction of Coward, Constantinides & Drane,
+*Automating Constraint-Aware Datapath Optimization using E-Graphs* (DAC
+2023, arXiv:2303.01839): an RTL optimizer that couples equality saturation
+with an interval-union abstract interpretation so conditional-branch
+constraints unlock rewrites that are only valid on a sub-domain.
+
+Quickstart::
+
+    from repro import DatapathOptimizer
+    from repro.designs import get_design
+
+    design = get_design("float_to_unorm")
+    tool = DatapathOptimizer(design.input_ranges)
+    result = tool.optimize_verilog(design.verilog).outputs["out"]
+    print(result.emit_verilog())
+    print(f"delay -{result.delay_improvement:.0%}  area -{result.area_improvement:.0%}")
+
+Package map (one subsystem per subpackage — see DESIGN.md):
+``ir`` (word-level IR), ``intervals`` (the abstract domain A),
+``egraph`` (equality saturation engine), ``analysis`` (abstract
+interpretation incl. ASSUME refinement), ``rewrites`` (Tables I/II and
+friends), ``rtl`` (Verilog frontend/backend), ``synth`` (delay/area models +
+gate-level synthesis substitute), ``verify`` (simulation + BDD equivalence),
+``opt`` (the end-to-end tool), ``designs`` (the paper's benchmarks).
+"""
+
+from repro.opt import DatapathOptimizer, OptimizerConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["DatapathOptimizer", "OptimizerConfig", "__version__"]

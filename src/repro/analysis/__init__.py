@@ -1,0 +1,35 @@
+"""Abstract interpretation over the e-graph (Sections III-B and IV-A).
+
+:class:`DatapathAnalysis` attaches an :class:`~repro.intervals.IntervalSet`
+and a totality flag to every e-class:
+
+* the interval set over-approximates every non-``*`` evaluation of the class
+  (the paper's ``A[[e]]``);
+* ``total`` records that the class provably never evaluates to ``*`` — which
+  gates constant folding (folding a *partial* class to a bare constant would
+  erase its failure domain).
+
+The ``ASSUME`` transfer function implements eqs. (3)–(4): the guarded class's
+abstraction is intersected with an interval decoded from any recognizable
+``Constr`` member of each constraint e-class.
+"""
+
+from repro.analysis.absval import AbsVal
+from repro.analysis.constr import constraint_refinement, decode_constr
+from repro.analysis.datapath import ANALYSIS_NAME, DatapathAnalysis, range_of, total_of, width_of
+from repro.analysis.transfer import iset_transfer
+from repro.analysis.tree_ranges import expr_ranges, expr_width
+
+__all__ = [
+    "AbsVal",
+    "DatapathAnalysis",
+    "ANALYSIS_NAME",
+    "range_of",
+    "total_of",
+    "width_of",
+    "decode_constr",
+    "constraint_refinement",
+    "iset_transfer",
+    "expr_ranges",
+    "expr_width",
+]

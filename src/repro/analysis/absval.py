@@ -1,0 +1,33 @@
+"""The analysis value attached to every e-class: range + totality."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.intervals import IntervalSet
+
+
+@dataclass(frozen=True, slots=True)
+class AbsVal:
+    """Abstract value of an e-class.
+
+    ``iset`` over-approximates the set of non-``*`` concrete evaluations;
+    ``total`` asserts the class never evaluates to ``*``.  The lattice join
+    (for provably-equal classes) intersects ranges — every member's
+    approximation is valid for all — and ORs totality — one always-defined
+    member makes the whole class always defined.
+    """
+
+    iset: IntervalSet
+    total: bool
+
+    @staticmethod
+    def top() -> "AbsVal":
+        return AbsVal(IntervalSet.top(), False)
+
+    def join(self, other: "AbsVal") -> "AbsVal":
+        return AbsVal(self.iset.intersect(other.iset), self.total or other.total)
+
+    def __repr__(self) -> str:
+        tag = "total" if self.total else "partial"
+        return f"AbsVal({self.iset}, {tag})"

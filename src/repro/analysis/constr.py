@@ -1,0 +1,109 @@
+"""Recognition of machine-interpretable constraints (eq. (4), ``Constr``).
+
+An ``ASSUME(x, c1, ..., cn)`` refines the abstraction of ``x`` by
+intersecting it with an interval decoded from the constraint e-classes.  A
+constraint class contributes when *any* of its member e-nodes has one of the
+shapes of eq. (4), generalized symmetrically::
+
+    x <  k   ->  (-inf, k-1]           k <  x   ->  [k+1, +inf)
+    x <= k   ->  (-inf, k]             k <= x   ->  [k, +inf)
+    x >  k   ->  [k+1, +inf)           k >  x   ->  (-inf, k-1]
+    x >= k   ->  [k, +inf)             k >= x   ->  (-inf, k]
+    x == k   ->  [k, k]                (symmetric)
+    x != k   ->  Z \\ {k}              (symmetric)
+    lnot(x)  ->  [0, 0]
+    x itself ->  Z \\ {0}              (the constraint *is* the expression)
+
+where ``x`` is the guarded e-class and ``k`` any e-class whose abstraction is
+a singleton (so constant folding feeds recognition).  Because a constraint
+e-class holds *many* equivalent forms, "there is no need to find the single
+ideal representation" (Section IV-C) — one recognizable member suffices.
+"""
+
+from __future__ import annotations
+
+from repro.intervals import IntervalSet
+from repro.ir import ops
+
+
+def _point(egraph, analysis_name: str, class_id: int) -> int | None:
+    """The singleton value of a class's abstraction, if any."""
+    return egraph.data(class_id, analysis_name).iset.as_point()
+
+
+def decode_constr(
+    egraph, analysis_name: str, constraint_id: int, target_id: int
+) -> IntervalSet | None:
+    """Interval implied *for target_id* by one constraint class being true.
+
+    Returns ``None`` when no member of the constraint class is an
+    interpretable ``Constr`` about the target class.
+    """
+    find = egraph.find
+    target = find(target_id)
+    constraint = find(constraint_id)
+    implied: IntervalSet | None = None
+
+    def tighten(extra: IntervalSet) -> None:
+        nonlocal implied
+        implied = extra if implied is None else implied.intersect(extra)
+
+    if constraint == target:
+        # The constraint *is* the guarded expression: it must be nonzero.
+        tighten(IntervalSet.top().remove_point(0))
+
+    for enode in egraph[constraint].nodes:
+        op = enode.op
+        if op is ops.LNOT and find(enode.children[0]) == target:
+            tighten(IntervalSet.point(0))
+            continue
+        if op not in (ops.LT, ops.LE, ops.GT, ops.GE, ops.EQ, ops.NE):
+            continue
+        left, right = (find(c) for c in enode.children)
+        if left == target:
+            k = _point(egraph, analysis_name, right)
+            if k is None:
+                continue
+            target_on_left = True
+        elif right == target:
+            k = _point(egraph, analysis_name, left)
+            if k is None:
+                continue
+            target_on_left = False
+        else:
+            continue
+
+        if op is ops.EQ:
+            tighten(IntervalSet.point(k))
+        elif op is ops.NE:
+            tighten(IntervalSet.top().remove_point(k))
+        elif (op is ops.LT and target_on_left) or (op is ops.GT and not target_on_left):
+            tighten(IntervalSet.of(None, k - 1))
+        elif (op is ops.LE and target_on_left) or (op is ops.GE and not target_on_left):
+            tighten(IntervalSet.of(None, k))
+        elif (op is ops.GT and target_on_left) or (op is ops.LT and not target_on_left):
+            tighten(IntervalSet.of(k + 1, None))
+        elif (op is ops.GE and target_on_left) or (op is ops.LE and not target_on_left):
+            tighten(IntervalSet.of(k, None))
+
+    return implied
+
+
+def constraint_refinement(
+    egraph, analysis_name: str, constraint_ids, target_id: int
+) -> IntervalSet:
+    """Combined refinement for the guarded class over all constraints.
+
+    A constraint whose own abstraction is exactly ``{0}`` can never hold, so
+    the ``ASSUME`` always fails: the feasible set is empty (a dead branch —
+    this is what lets the optimizer prune unreachable muxes).
+    """
+    implied = IntervalSet.top()
+    for cid in constraint_ids:
+        cond_range = egraph.data(cid, analysis_name).iset
+        if cond_range.as_point() == 0 or cond_range.is_empty:
+            return IntervalSet.empty()
+        decoded = decode_constr(egraph, analysis_name, cid, target_id)
+        if decoded is not None:
+            implied = implied.intersect(decoded)
+    return implied

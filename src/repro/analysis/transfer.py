@@ -1,0 +1,85 @@
+"""Pure interval transfer functions, shared by the e-class analysis and the
+tree-level range analysis used when lowering extracted designs to gates."""
+
+from __future__ import annotations
+
+from repro.intervals import IntervalSet
+from repro.ir import ops
+from repro.ir.ops import Op
+
+
+def iset_transfer(op: Op, attrs: tuple, kids: list[IntervalSet]) -> IntervalSet:
+    """Abstract one operator over already-computed child ranges.
+
+    Handles every IR operator except the leaves (VAR/CONST) and ASSUME
+    (whose refinement needs e-graph context).  MUX uses the condition's
+    truthiness to drop provably-unreachable branches.
+    """
+    if op is ops.MUX:
+        cond, if_true, if_false = kids
+        verdict = cond.truthiness()
+        if verdict is True:
+            return if_true
+        if verdict is False:
+            return if_false
+        return if_true.union(if_false)
+
+    a = kids[0] if kids else IntervalSet.empty()
+    b = kids[1] if len(kids) > 1 else IntervalSet.empty()
+
+    if op is ops.ADD:
+        return a.add(b)
+    if op is ops.SUB:
+        return a.sub(b)
+    if op is ops.MUL:
+        return a.mul(b)
+    if op is ops.NEG:
+        return a.neg()
+    if op is ops.SHL:
+        return a.shl(b)
+    if op is ops.SHR:
+        return a.shr(b)
+    if op is ops.AND:
+        return a.bit_and(b)
+    if op is ops.OR:
+        return a.bit_or(b)
+    if op is ops.XOR:
+        return a.bit_xor(b)
+    if op is ops.NOT:
+        (width,) = attrs
+        return a.bit_not(width)
+    if op is ops.LNOT:
+        return a.logical_not()
+    if op is ops.LT:
+        return a.cmp_lt(b)
+    if op is ops.LE:
+        return a.cmp_le(b)
+    if op is ops.GT:
+        return a.cmp_gt(b)
+    if op is ops.GE:
+        return a.cmp_ge(b)
+    if op is ops.EQ:
+        return a.cmp_eq(b)
+    if op is ops.NE:
+        return a.cmp_ne(b)
+    if op is ops.LZC:
+        (width,) = attrs
+        return a.lzc(width)
+    if op is ops.TRUNC:
+        (width,) = attrs
+        return a.trunc_mod(1 << width)
+    if op is ops.SLICE:
+        hi, lo = attrs
+        return a.shr(IntervalSet.point(lo)).trunc_mod(1 << (hi - lo + 1))
+    if op is ops.CONCAT:
+        (rhs_width,) = attrs
+        lsbs = b.intersect(IntervalSet.unsigned(rhs_width))
+        msbs = a.intersect(IntervalSet.of(0, None))
+        return msbs.shl(IntervalSet.point(rhs_width)).add(lsbs)
+    if op is ops.ABS:
+        return a.abs()
+    if op is ops.MIN:
+        return a.min_with(b)
+    if op is ops.MAX:
+        return a.max_with(b)
+    return IntervalSet.top()

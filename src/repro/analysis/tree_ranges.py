@@ -1,0 +1,131 @@
+"""Range analysis over plain expression *trees* (no e-graph).
+
+Used after extraction: the netlist lowering and the Verilog emitter need a
+width for every node of the chosen design.  The analysis is the same
+transfer system as the e-class analysis but without ASSUME refinement —
+extracted designs have their ASSUME wrappers stripped, and any remaining
+ASSUME is treated as a wire over its guarded child.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis.transfer import iset_transfer
+from repro.intervals import IntervalSet
+from repro.ir import ops
+from repro.ir.expr import Expr
+
+
+def expr_ranges(
+    root: Expr, input_ranges: Mapping[str, IntervalSet] | None = None
+) -> dict[Expr, IntervalSet]:
+    """Map every distinct subterm to a sound range over-approximation."""
+    input_ranges = dict(input_ranges or {})
+    memo: dict[Expr, IntervalSet] = {}
+    stack: list[tuple[Expr, bool]] = [(root, False)]
+    while stack:
+        node, ready = stack.pop()
+        if node in memo:
+            continue
+        if not ready:
+            stack.append((node, True))
+            stack.extend((c, False) for c in node.children if c not in memo)
+            continue
+        if node.op is ops.VAR:
+            name, width = node.attrs
+            iset = IntervalSet.unsigned(width)
+            if name in input_ranges:
+                iset = iset.intersect(input_ranges[name])
+            memo[node] = iset
+        elif node.op is ops.CONST:
+            memo[node] = IntervalSet.point(node.value)
+        elif node.op is ops.ASSUME:
+            memo[node] = _refine_assume(node, memo)
+        else:
+            kids = [memo[c] for c in node.children]
+            memo[node] = iset_transfer(node.op, node.attrs, kids)
+    return memo
+
+
+def _refine_assume(node: Expr, memo: dict[Expr, IntervalSet]) -> IntervalSet:
+    """Eq. (3)/(4) refinement on *trees* (structural Constr matching).
+
+    Extracted designs keep their ASSUME wrappers precisely so that this
+    refinement can reproduce the e-graph's width knowledge when lowering to
+    gates or emitting Verilog: the guarded expression's range is intersected
+    with the interval implied by each syntactically recognizable constraint.
+    """
+    target = node.children[0]
+    refined = memo[target]
+    for constraint in node.children[1:]:
+        cond = memo[constraint]
+        if cond.is_empty or cond.as_point() == 0:
+            return IntervalSet.empty()
+        implied = _decode_tree_constr(constraint, target, memo)
+        if implied is not None:
+            refined = refined.intersect(implied)
+    return refined
+
+
+def _decode_tree_constr(
+    constraint: Expr, target: Expr, memo: dict[Expr, IntervalSet]
+) -> IntervalSet | None:
+    """Interval implied for ``target`` by ``constraint`` being true."""
+    if constraint == target:
+        return IntervalSet.top().remove_point(0)
+    op = constraint.op
+    if op is ops.LNOT:
+        inner = constraint.children[0]
+        if inner == target:
+            return IntervalSet.point(0)
+        # ~(cmp) inverts the comparison.
+        flipped = _invert_comparison(inner)
+        if flipped is not None:
+            return _decode_tree_constr(flipped, target, memo)
+        return None
+    if op not in (ops.LT, ops.LE, ops.GT, ops.GE, ops.EQ, ops.NE):
+        return None
+    left, right = constraint.children
+    if left == target:
+        k = memo[right].as_point()
+        on_left = True
+    elif right == target:
+        k = memo[left].as_point()
+        on_left = False
+    else:
+        return None
+    if k is None:
+        return None
+    if op is ops.EQ:
+        return IntervalSet.point(k)
+    if op is ops.NE:
+        return IntervalSet.top().remove_point(k)
+    if (op is ops.LT and on_left) or (op is ops.GT and not on_left):
+        return IntervalSet.of(None, k - 1)
+    if (op is ops.LE and on_left) or (op is ops.GE and not on_left):
+        return IntervalSet.of(None, k)
+    if (op is ops.GT and on_left) or (op is ops.LT and not on_left):
+        return IntervalSet.of(k + 1, None)
+    return IntervalSet.of(k, None)
+
+
+_INVERSIONS = {
+    ops.LT: ops.GE, ops.LE: ops.GT, ops.GT: ops.LE,
+    ops.GE: ops.LT, ops.EQ: ops.NE, ops.NE: ops.EQ,
+}
+
+
+def _invert_comparison(node: Expr) -> Expr | None:
+    flipped = _INVERSIONS.get(node.op)
+    if flipped is None:
+        return None
+    return Expr(flipped, (), node.children)
+
+
+def expr_width(
+    root: Expr, input_ranges: Mapping[str, IntervalSet] | None = None
+) -> int:
+    """Storage width of the root under the tree range analysis."""
+    width = expr_ranges(root, input_ranges)[root].storage_width()
+    return width if width is not None else 64

@@ -1,0 +1,86 @@
+"""Command-line interface: ``python -m repro <file.v> [options]``.
+
+Optimizes every output of a Verilog module and writes the optimized module
+to stdout (or ``-o``), with a cost/equivalence report on stderr.  Input
+range constraints use ``name=lo:hi`` syntax::
+
+    python -m repro design.v --range x=128:255 --iters 8 -o out.v
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import DatapathOptimizer, OptimizerConfig
+from repro.intervals import IntervalSet
+
+
+def parse_range(text: str) -> tuple[str, IntervalSet]:
+    """Parse ``name=lo:hi`` into an input constraint."""
+    try:
+        name, span = text.split("=", 1)
+        lo, hi = span.split(":", 1)
+        return name.strip(), IntervalSet.of(int(lo), int(hi))
+    except ValueError as err:
+        raise argparse.ArgumentTypeError(
+            f"expected name=lo:hi, got {text!r}"
+        ) from err
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Constraint-aware datapath optimization using e-graphs "
+        "(Coward et al., DAC 2023).",
+    )
+    parser.add_argument("source", help="Verilog file (combinational subset)")
+    parser.add_argument("-o", "--output", help="write optimized Verilog here")
+    parser.add_argument(
+        "--range", dest="ranges", type=parse_range, action="append", default=[],
+        metavar="NAME=LO:HI", help="input domain constraint (repeatable)",
+    )
+    parser.add_argument("--iters", type=int, default=8, help="saturation iterations")
+    parser.add_argument("--nodes", type=int, default=30_000, help="e-graph node limit")
+    parser.add_argument("--no-verify", action="store_true", help="skip equivalence check")
+    parser.add_argument("--no-split", action="store_true", help="disable case splitting")
+    parser.add_argument(
+        "--module-name", default="optimized", help="name of the emitted module"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    with open(args.source) as handle:
+        source = handle.read()
+
+    config = OptimizerConfig(
+        iter_limit=args.iters,
+        node_limit=args.nodes,
+        verify=not args.no_verify,
+        split_threshold=None if args.no_split else 1,
+    )
+    tool = DatapathOptimizer(dict(args.ranges), config)
+    module = tool.optimize_verilog(source)
+
+    for name, result in module.outputs.items():
+        before, after = result.original_cost, result.optimized_cost
+        verdict = result.equivalence if result.equivalence else "not checked"
+        print(
+            f"{name}: delay {before.delay:.1f} -> {after.delay:.1f}, "
+            f"area {before.area:.1f} -> {after.area:.1f}  [{verdict}]",
+            file=sys.stderr,
+        )
+
+    text = module.emit_verilog(args.module_name)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""The paper's benchmark designs (Sections V and VI).
+
+Each design provides generated Verilog (exercising the frontend), optional
+input-domain constraints, and — for the FP subtractor — a hand-written
+dual-path reference reproducing Figure 2b for comparison.
+
+The interpolation kernel is a reconstruction: the original is a proprietary
+Intel media kernel; ours exercises the same documented mechanism (range-gated
+dead code that only a *union* abstraction can prove dead — Section VI).
+"""
+
+from repro.designs.fp_sub import (
+    fp_sub_behavioural_ir,
+    fp_sub_behavioural_verilog,
+    fp_sub_dual_path_ir,
+    fp_sub_input_ranges,
+)
+from repro.designs.conversions import (
+    float_to_unorm_input_ranges,
+    float_to_unorm_verilog,
+    unorm_to_float_verilog,
+)
+from repro.designs.interpolation import interpolation_verilog
+from repro.designs.lzc_example import lzc_example_input_ranges, lzc_example_verilog
+from repro.designs.registry import Design, DESIGNS, get_design
+
+__all__ = [
+    "Design",
+    "DESIGNS",
+    "get_design",
+    "fp_sub_behavioural_verilog",
+    "fp_sub_behavioural_ir",
+    "fp_sub_dual_path_ir",
+    "fp_sub_input_ranges",
+    "float_to_unorm_verilog",
+    "float_to_unorm_input_ranges",
+    "unorm_to_float_verilog",
+    "interpolation_verilog",
+    "lzc_example_verilog",
+    "lzc_example_input_ranges",
+]

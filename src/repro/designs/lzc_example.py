@@ -1,0 +1,41 @@
+"""The Figure 1 example: ``LZC(x + y)`` under the input constraint ``x >= 128``.
+
+The constraint implies ``x + y >= 128``, so the 9-bit sum has at most one
+leading zero and the 9-bit LZC narrows to a 2-bit LZC of the top two bits —
+the rewrite Figure 1 adds to the e-graph (``LZC(a) -> LZC(a >> 7)``).
+"""
+
+from __future__ import annotations
+
+from repro.intervals import IntervalSet
+
+
+def lzc_example_verilog() -> str:
+    """Figure 1's initial design."""
+    arms = []
+    for k in range(9):
+        pattern = "0" * k + "1" + "?" * (8 - k)
+        arms.append(f"      9'b{pattern}: lz = {k};")
+    arms.append("      default: lz = 9;")
+    body = "\n".join(arms)
+    return f"""
+module lzc_example (
+  input [7:0] x,
+  input [7:0] y,
+  output [3:0] out
+);
+  wire [8:0] sum = x + y;
+  reg [3:0] lz;
+  always @(*) begin
+    casez (sum)
+{body}
+    endcase
+  end
+  assign out = lz;
+endmodule
+"""
+
+
+def lzc_example_input_ranges() -> dict[str, IntervalSet]:
+    """The Figure 1 input constraint ``x >= 128``."""
+    return {"x": IntervalSet.of(128, 255)}

@@ -1,0 +1,78 @@
+"""Registry of the paper's benchmark designs (drives Table III / benches)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.designs.conversions import (
+    float_to_unorm_input_ranges,
+    float_to_unorm_verilog,
+    unorm_to_float_verilog,
+)
+from repro.designs.fp_sub import fp_sub_behavioural_verilog, fp_sub_input_ranges
+from repro.designs.interpolation import interpolation_verilog
+from repro.designs.lzc_example import lzc_example_input_ranges, lzc_example_verilog
+from repro.intervals import IntervalSet
+
+
+@dataclass
+class Design:
+    """One benchmark: Verilog source, primary output, domain constraints."""
+
+    name: str
+    verilog: str
+    output: str
+    input_ranges: dict[str, IntervalSet] = field(default_factory=dict)
+    #: tool iterations used by the paper for this class of design.
+    iterations: int = 6
+    node_limit: int = 20_000
+    description: str = ""
+
+
+def _designs() -> dict[str, Design]:
+    return {
+        "fp_sub": Design(
+            name="fp_sub",
+            verilog=fp_sub_behavioural_verilog(),
+            output="out",
+            input_ranges=fp_sub_input_ranges(),
+            iterations=11,
+            node_limit=30_000,
+            description="half-precision FP subtract mantissa datapath (Fig. 2a)",
+        ),
+        "float_to_unorm": Design(
+            name="float_to_unorm",
+            verilog=float_to_unorm_verilog(),
+            output="out",
+            input_ranges=float_to_unorm_input_ranges(),
+            description="half float (<=1) to unorm11, round down (DirectX)",
+        ),
+        "interpolation": Design(
+            name="interpolation",
+            verilog=interpolation_verilog(),
+            output="out",
+            description="four-pixel bilinear interpolation with clamping",
+        ),
+        "unorm_to_float": Design(
+            name="unorm_to_float",
+            verilog=unorm_to_float_verilog(),
+            output="out",
+            description="unorm11 to half-float fields, zero special-cased",
+        ),
+        "lzc_example": Design(
+            name="lzc_example",
+            verilog=lzc_example_verilog(),
+            output="out",
+            input_ranges=lzc_example_input_ranges(),
+            description="Figure 1: LZC(x+y) under x >= 128",
+        ),
+    }
+
+
+DESIGNS: dict[str, Design] = _designs()
+
+
+def get_design(name: str) -> Design:
+    """Look up a benchmark design by name."""
+    if name not in DESIGNS:
+        raise KeyError(f"unknown design {name!r}; have {sorted(DESIGNS)}")
+    return DESIGNS[name]

@@ -1,0 +1,50 @@
+"""A from-scratch equality-saturation engine (the `egg` substrate).
+
+The paper builds its RTL optimizer on the Rust `egg` library (Willsey et al.,
+POPL 2021).  This package reimplements the same machinery in Python:
+
+* :mod:`~repro.egraph.unionfind` — disjoint sets with path compression,
+* :mod:`~repro.egraph.enode` — canonicalizable e-nodes,
+* :mod:`~repro.egraph.egraph` — hashconsed e-graph with deferred congruence
+  rebuilding and egg-style e-class analyses,
+* :mod:`~repro.egraph.pattern` — pattern language and e-matching,
+* :mod:`~repro.egraph.rewrite` — declarative and dynamic rewrite rules,
+* :mod:`~repro.egraph.runner` — saturation runner with a backoff scheduler,
+* :mod:`~repro.egraph.extract` — cost-directed extraction.
+"""
+
+from repro.egraph.unionfind import UnionFind
+from repro.egraph.enode import ENode
+from repro.egraph.egraph import Analysis, EClass, EGraph
+from repro.egraph.pattern import AttrVar, Pattern, PatternNode, PatternVar, parse_pattern
+from repro.egraph.rewrite import Rewrite, rewrite, birewrite
+from repro.egraph.runner import Runner, RunnerReport, StopReason
+from repro.egraph.extract import (
+    AstDepthCost,
+    AstSizeCost,
+    CostFunction,
+    Extractor,
+)
+
+__all__ = [
+    "UnionFind",
+    "ENode",
+    "EGraph",
+    "EClass",
+    "Analysis",
+    "Pattern",
+    "PatternVar",
+    "PatternNode",
+    "AttrVar",
+    "parse_pattern",
+    "Rewrite",
+    "rewrite",
+    "birewrite",
+    "Runner",
+    "RunnerReport",
+    "StopReason",
+    "Extractor",
+    "CostFunction",
+    "AstSizeCost",
+    "AstDepthCost",
+]

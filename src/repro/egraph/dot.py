@@ -1,0 +1,61 @@
+"""Graphviz export of an e-graph (the visualization used in Figure 1).
+
+Each e-class renders as a cluster of its e-nodes; edges run from e-nodes to
+child classes.  When the datapath analysis is attached, every cluster is
+labelled with its interval abstraction, mirroring how the paper draws
+interval-annotated e-graphs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.datapath import ANALYSIS_NAME
+from repro.egraph.egraph import EGraph
+from repro.ir import ops
+
+
+def _node_label(enode) -> str:
+    if enode.op is ops.VAR:
+        return f"{enode.attrs[0]}:{enode.attrs[1]}"
+    if enode.op is ops.CONST:
+        return str(enode.attrs[0])
+    if enode.op.symbol:
+        return enode.op.symbol
+    base = enode.op.name.lower()
+    if enode.attrs:
+        base += "<" + ",".join(map(str, enode.attrs)) + ">"
+    return base
+
+
+def to_dot(egraph: EGraph, max_classes: int = 200) -> str:
+    """Render the e-graph as a DOT digraph string."""
+    lines = [
+        "digraph egraph {",
+        "  compound=true; rankdir=BT;",
+        "  node [shape=box, fontsize=10];",
+    ]
+    classes = sorted(egraph.classes(), key=lambda c: c.id)[:max_classes]
+    for eclass in classes:
+        label = f"c{eclass.id}"
+        data = eclass.data.get(ANALYSIS_NAME)
+        if data is not None:
+            label += f"  {data.iset}"
+        lines.append(f'  subgraph cluster_{eclass.id} {{ label="{label}";')
+        for index, enode in enumerate(sorted(eclass.nodes, key=repr)):
+            lines.append(
+                f'    n{eclass.id}_{index} [label="{_node_label(enode)}"];'
+            )
+        lines.append("  }")
+    shown = {c.id for c in classes}
+    for eclass in classes:
+        for index, enode in enumerate(sorted(eclass.nodes, key=repr)):
+            for child in enode.children:
+                child_root = egraph.find(child)
+                if child_root not in shown:
+                    continue
+                target = f"n{child_root}_0"
+                lines.append(
+                    f"  n{eclass.id}_{index} -> {target} "
+                    f"[lhead=cluster_{child_root}];"
+                )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,305 @@
+"""The e-graph: hashcons + union-find + deferred congruence rebuilding.
+
+This follows the `egg` design (Willsey et al., POPL 2021):
+
+* :meth:`EGraph.add` interns an e-node through the hashcons;
+* :meth:`EGraph.union` merges two e-classes *without* immediately restoring
+  congruence — dirty parents go on a worklist;
+* :meth:`EGraph.rebuild` restores the congruence invariant and re-runs the
+  e-class analyses to their (sound) fixpoint.
+
+E-class analyses implement the egg ``Analysis`` interface (``make`` /
+``join`` / ``modify``).  ``join`` is called both when classes merge and when
+a new e-node enters an existing class; for the interval analysis of the paper
+the join is set *intersection* (all members of a class evaluate identically,
+so every member's approximation is valid for the whole class — see the
+authors' companion paper arXiv:2205.14989).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.egraph.enode import ENode
+from repro.egraph.unionfind import UnionFind
+from repro.ir import ops
+from repro.ir.expr import Expr
+from repro.ir.ops import Op
+
+
+class Analysis:
+    """Interface of an e-class analysis (egg's ``Analysis`` trait).
+
+    Subclasses provide domain data attached to every e-class and keep it
+    correct as the e-graph grows and merges.
+    """
+
+    name: str = "analysis"
+
+    def make(self, egraph: "EGraph", enode: ENode) -> Any:
+        """Data for a fresh e-node (children already carry data)."""
+        raise NotImplementedError
+
+    def join(self, left: Any, right: Any) -> Any:
+        """Combine data for two provably-equal e-classes."""
+        raise NotImplementedError
+
+    def modify(self, egraph: "EGraph", class_id: int) -> None:
+        """Optional hook: mutate the e-graph after data changes (e.g. add a
+        constant node when the data proves the class constant)."""
+
+
+@dataclass
+class EClass:
+    """One equivalence class of e-nodes."""
+
+    id: int
+    nodes: set[ENode] = field(default_factory=set)
+    parents: list[tuple[ENode, int]] = field(default_factory=list)
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class EGraph:
+    """A hashconsed, analysis-carrying e-graph."""
+
+    def __init__(self, analyses: Iterable[Analysis] = ()) -> None:
+        self._uf = UnionFind()
+        self._classes: dict[int, EClass] = {}
+        self._hashcons: dict[ENode, int] = {}
+        self._pending: list[tuple[ENode, int]] = []
+        self._analysis_pending: list[tuple[ENode, int]] = []
+        self.analyses: tuple[Analysis, ...] = tuple(analyses)
+        #: Incremented on every successful union; rewrite runners use this to
+        #: detect saturation.
+        self.version = 0
+
+    # ------------------------------------------------------------------ sizes
+    def find(self, class_id: int) -> int:
+        """Canonical id of the class containing ``class_id``."""
+        return self._uf.find(class_id)
+
+    @property
+    def class_count(self) -> int:
+        """Number of canonical e-classes."""
+        return len(self._classes)
+
+    @property
+    def node_count(self) -> int:
+        """Total number of e-nodes across all classes."""
+        return sum(len(c.nodes) for c in self._classes.values())
+
+    def classes(self) -> Iterator[EClass]:
+        """Iterate canonical e-classes (snapshot; safe to mutate during)."""
+        return iter(list(self._classes.values()))
+
+    def __getitem__(self, class_id: int) -> EClass:
+        return self._classes[self.find(class_id)]
+
+    def data(self, class_id: int, analysis: str) -> Any:
+        """Analysis data of the class, by analysis name."""
+        return self._classes[self.find(class_id)].data[analysis]
+
+    def set_data(self, class_id: int, analysis: str, value: Any) -> None:
+        """Overwrite analysis data (used to seed input assumptions)."""
+        cls = self._classes[self.find(class_id)]
+        cls.data[analysis] = value
+        self._analysis_pending.extend(cls.parents)
+
+    # ------------------------------------------------------------------- add
+    def add_enode(self, enode: ENode) -> int:
+        """Intern an e-node, returning its (possibly existing) class id."""
+        enode = enode.canonical(self._uf.find)
+        existing = self._hashcons.get(enode)
+        if existing is not None:
+            return self._uf.find(existing)
+        class_id = self._uf.make_set()
+        eclass = EClass(id=class_id, nodes={enode})
+        self._classes[class_id] = eclass
+        self._hashcons[enode] = class_id
+        for child in set(enode.children):
+            self._classes[self._uf.find(child)].parents.append((enode, class_id))
+        for analysis in self.analyses:
+            eclass.data[analysis.name] = analysis.make(self, enode)
+        for analysis in self.analyses:
+            analysis.modify(self, class_id)
+        return self._uf.find(class_id)
+
+    def add_node(self, op: Op, attrs: tuple = (), children: Iterable[int] = ()) -> int:
+        """Convenience wrapper building the :class:`ENode` in place."""
+        return self.add_enode(ENode(op, attrs, tuple(children)))
+
+    def add_expr(self, expr: Expr) -> int:
+        """Insert a whole expression tree; returns the root class id."""
+        memo: dict[Expr, int] = {}
+        stack: list[tuple[Expr, bool]] = [(expr, False)]
+        while stack:
+            node, ready = stack.pop()
+            if node in memo:
+                continue
+            if not ready:
+                stack.append((node, True))
+                stack.extend((c, False) for c in node.children if c not in memo)
+                continue
+            kids = tuple(memo[c] for c in node.children)
+            memo[node] = self.add_enode(ENode(node.op, node.attrs, kids))
+        return memo[expr]
+
+    def add_const(self, value: int) -> int:
+        """Intern a CONST leaf."""
+        return self.add_node(ops.CONST, (int(value),))
+
+    # ----------------------------------------------------------------- lookup
+    def lookup(self, enode: ENode) -> int | None:
+        """Class id of an e-node if it is interned, else None."""
+        found = self._hashcons.get(enode.canonical(self._uf.find))
+        if found is None:
+            return None
+        return self._uf.find(found)
+
+    def class_const(self, class_id: int) -> int | None:
+        """The CONST value of a class if it contains a literal node."""
+        for node in self._classes[self.find(class_id)].nodes:
+            if node.op is ops.CONST:
+                return node.attrs[0]
+        return None
+
+    def nodes_by_op(self) -> dict[Op, list[tuple[int, ENode]]]:
+        """Index op -> [(class id, e-node)] over canonical classes."""
+        index: dict[Op, list[tuple[int, ENode]]] = {}
+        for eclass in self._classes.values():
+            for node in eclass.nodes:
+                index.setdefault(node.op, []).append((eclass.id, node))
+        return index
+
+    # ------------------------------------------------------------------ union
+    def union(self, a: int, b: int) -> int:
+        """Assert that classes ``a`` and ``b`` are equal; returns the root."""
+        ra, rb = self._uf.find(a), self._uf.find(b)
+        if ra == rb:
+            return ra
+        self.version += 1
+        root, absorbed = self._uf.union(ra, rb)
+        keep = self._classes[root]
+        gone = self._classes.pop(absorbed)
+
+        # Congruence repair is deferred: every parent of the absorbed class
+        # may now be congruent to a parent of the surviving class.
+        self._pending.extend(gone.parents)
+
+        for analysis in self.analyses:
+            old_keep = keep.data[analysis.name]
+            old_gone = gone.data[analysis.name]
+            keep.data[analysis.name] = analysis.join(old_keep, old_gone)
+        # Parents are requeued unconditionally: even when the joined data is
+        # unchanged, the merged class has new *members*, and the ASSUME
+        # transfer function (eq. (4)) inspects constraint-class membership —
+        # a freshly merged `a-b > 0` e-node must refine its ASSUME parents
+        # (Section IV-C's condition-rewriting flow).
+        self._analysis_pending.extend(keep.parents)
+        self._analysis_pending.extend(gone.parents)
+
+        keep.nodes |= gone.nodes
+        keep.parents.extend(gone.parents)
+        for analysis in self.analyses:
+            analysis.modify(self, root)
+        return root
+
+    # ---------------------------------------------------------------- rebuild
+    def rebuild(self, analysis_budget: int = 200_000) -> int:
+        """Restore congruence and re-run analyses to a (sound) fixpoint.
+
+        Returns the number of unions performed during the repair.  The
+        ``analysis_budget`` caps upward-propagation work; stopping early is
+        sound because interval data only ever *tightens* through joins.
+        """
+        unions = 0
+        while self._pending or self._analysis_pending:
+            while self._pending:
+                todo, self._pending = self._pending, []
+                for enode, class_id in todo:
+                    self._hashcons.pop(enode, None)
+                    canon = enode.canonical(self._uf.find)
+                    existing = self._hashcons.get(canon)
+                    root = self._uf.find(class_id)
+                    if existing is not None and self._uf.find(existing) != root:
+                        self.union(existing, root)
+                        unions += 1
+                    self._hashcons[canon] = self._uf.find(class_id)
+
+            budget = analysis_budget
+            while self._analysis_pending and budget:
+                budget -= 1
+                enode, class_id = self._analysis_pending.pop()
+                root = self._uf.find(class_id)
+                eclass = self._classes.get(root)
+                if eclass is None:
+                    continue
+                for analysis in self.analyses:
+                    old = eclass.data[analysis.name]
+                    new = analysis.join(old, analysis.make(self, enode))
+                    if new != old:
+                        eclass.data[analysis.name] = new
+                        self._analysis_pending.extend(eclass.parents)
+                        analysis.modify(self, root)
+            if not budget:
+                self._analysis_pending.clear()
+
+        self._recanonicalize_classes()
+        return unions
+
+    def _recanonicalize_classes(self) -> None:
+        """Re-canonicalize every class's node set and parent list."""
+        find = self._uf.find
+        for eclass in self._classes.values():
+            eclass.nodes = {n.canonical(find) for n in eclass.nodes}
+            fresh_parents: dict[ENode, int] = {}
+            for enode, pid in eclass.parents:
+                fresh_parents[enode.canonical(find)] = find(pid)
+            eclass.parents = list(fresh_parents.items())
+
+    # ----------------------------------------------------------------- checks
+    def check_invariants(self) -> None:
+        """Assert hashcons/congruence invariants (used by the test-suite)."""
+        find = self._uf.find
+        for class_id, eclass in self._classes.items():
+            assert find(class_id) == class_id, "non-canonical class retained"
+            for node in eclass.nodes:
+                canon = node.canonical(find)
+                owner = self._hashcons.get(canon)
+                assert owner is not None, f"node {canon} missing from hashcons"
+                assert find(owner) == class_id, (
+                    f"hashcons maps {canon} to {find(owner)}, expected {class_id}"
+                )
+        seen: dict[ENode, int] = {}
+        for class_id, eclass in self._classes.items():
+            for node in eclass.nodes:
+                canon = node.canonical(find)
+                if canon in seen:
+                    assert seen[canon] == class_id, f"congruence violated at {canon}"
+                seen[canon] = class_id
+
+    # ------------------------------------------------------------ extraction
+    def any_expr(self, class_id: int) -> Expr:
+        """Some expression from the class (smallest node count, greedy)."""
+        from repro.egraph.extract import AstSizeCost, Extractor
+
+        return Extractor(self, AstSizeCost()).expr_of(class_id)
+
+    def dump(self, limit: int = 50) -> str:
+        """Human-readable snapshot for debugging."""
+        lines = []
+        for eclass in sorted(self._classes.values(), key=lambda c: c.id)[:limit]:
+            nodes = ", ".join(repr(n) for n in sorted(eclass.nodes, key=repr))
+            lines.append(f"c{eclass.id}: {nodes}")
+        return "\n".join(lines)
+
+
+def merge_callback(egraph: EGraph, pairs: Iterable[tuple[int, int]]) -> int:
+    """Union every pair then rebuild; returns union count (helper)."""
+    count = 0
+    for a, b in pairs:
+        egraph.union(a, b)
+        count += 1
+    egraph.rebuild()
+    return count

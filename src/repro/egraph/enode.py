@@ -1,0 +1,49 @@
+"""E-nodes: operator + attributes + child e-class ids.
+
+An e-node is the e-graph analogue of one :class:`~repro.ir.expr.Expr` level:
+children are e-class ids instead of subtrees.  E-nodes are hashable and are
+the keys of the e-graph's hashcons.
+
+``ASSUME`` e-nodes canonicalize their constraint tail as a *sorted set* of
+e-class ids, which makes the constraint argument of the paper's ``ASSUME``
+order-insensitive and duplicate-free by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir import ops
+from repro.ir.ops import Op
+
+
+@dataclass(frozen=True, slots=True)
+class ENode:
+    """One operator application over e-class ids."""
+
+    op: Op
+    attrs: tuple = ()
+    children: tuple[int, ...] = ()
+
+    def canonical(self, find) -> "ENode":
+        """Rewrite child ids through ``find`` (a callable id -> root id)."""
+        if not self.children:
+            return self
+        if self.op is ops.ASSUME:
+            head = find(self.children[0])
+            tail = tuple(sorted({find(c) for c in self.children[1:]}))
+            return ENode(self.op, self.attrs, (head,) + tail)
+        return ENode(self.op, self.attrs, tuple(find(c) for c in self.children))
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __repr__(self) -> str:
+        if self.op is ops.VAR:
+            return f"Var({self.attrs[0]}:{self.attrs[1]})"
+        if self.op is ops.CONST:
+            return f"Const({self.attrs[0]})"
+        attrs = f"<{','.join(map(str, self.attrs))}>" if self.attrs else ""
+        kids = ",".join(f"c{c}" for c in self.children)
+        return f"{self.op.name}{attrs}({kids})"

@@ -1,0 +1,170 @@
+"""Cost-directed extraction of the best design from a saturated e-graph.
+
+This is egg's standard bottom-up extraction (Section IV-D of the paper): a
+fixpoint computes the cheapest cost achievable for every e-class, then the
+best expression is rebuilt top-down.
+
+``ASSUME`` nodes are *wires*: the paper treats them "as assignment statements
+in the implementation phase", so extraction costs an ASSUME exactly its
+guarded child and (by default) strips the wrapper from the extracted
+expression.  Constraint children never contribute hardware.
+
+Cost functions are pluggable; the delay/area model of the paper lives in
+:mod:`repro.synth.cost` and plugs in here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.enode import ENode
+from repro.ir import ops
+from repro.ir.expr import Expr
+
+
+class CostFunction:
+    """Interface: assign a totally ordered cost to choosing an e-node."""
+
+    def enode_cost(
+        self, egraph: EGraph, class_id: int, enode: ENode, child_costs: list
+    ) -> Any:
+        """Cost of ``enode`` given the best costs of its children."""
+        raise NotImplementedError
+
+
+class AstSizeCost(CostFunction):
+    """Number of operators in the extracted tree (egg's ``AstSize``)."""
+
+    def enode_cost(self, egraph, class_id, enode, child_costs):
+        return 1 + sum(child_costs)
+
+
+class AstDepthCost(CostFunction):
+    """Height of the extracted tree (egg's ``AstDepth``)."""
+
+    def enode_cost(self, egraph, class_id, enode, child_costs):
+        return 1 + max(child_costs, default=0)
+
+
+class Extractor:
+    """Compute best costs for every class and rebuild best expressions."""
+
+    def __init__(
+        self, egraph: EGraph, cost_fn: CostFunction, strip_assumes: bool = True
+    ) -> None:
+        self.egraph = egraph
+        self.cost_fn = cost_fn
+        self.strip_assumes = strip_assumes
+        self._best: dict[int, tuple[Any, ENode]] = {}
+        self._memo: dict[int, Expr] = {}
+        self._run_fixpoint()
+
+    # --------------------------------------------------------------- fixpoint
+    def _candidates(self, class_id: int) -> Iterable[ENode]:
+        return self.egraph[class_id].nodes
+
+    def _enode_cost(self, class_id: int, enode: ENode) -> Any:
+        """Cost of one e-node, or None when some child is still uncosted."""
+        find = self.egraph.find
+        if enode.op is ops.ASSUME:
+            entry = self._best.get(find(enode.children[0]))
+            return None if entry is None else entry[0]
+        child_costs = []
+        for child in enode.children:
+            entry = self._best.get(find(child))
+            if entry is None:
+                return None
+            child_costs.append(entry[0])
+        return self.cost_fn.enode_cost(self.egraph, class_id, enode, child_costs)
+
+    def _run_fixpoint(self) -> None:
+        find = self.egraph.find
+        changed = True
+        while changed:
+            changed = False
+            for eclass in self.egraph.classes():
+                root = find(eclass.id)
+                current = self._best.get(root)
+                for enode in eclass.nodes:
+                    cost = self._enode_cost(root, enode)
+                    if cost is None:
+                        continue
+                    if current is None or cost < current[0]:
+                        current = (cost, enode)
+                        changed = True
+                if current is not None:
+                    self._best[root] = current
+
+    # ---------------------------------------------------------------- queries
+    def cost_of(self, class_id: int) -> Any:
+        """Best cost for the class (raises if unextractable)."""
+        entry = self._best.get(self.egraph.find(class_id))
+        if entry is None:
+            raise KeyError(f"class {class_id} has no extractable expression")
+        return entry[0]
+
+    def best_enode(self, class_id: int) -> ENode:
+        """The e-node realizing the best cost."""
+        entry = self._best.get(self.egraph.find(class_id))
+        if entry is None:
+            raise KeyError(f"class {class_id} has no extractable expression")
+        return entry[1]
+
+    def expr_of(self, class_id: int) -> Expr:
+        """Rebuild the cheapest expression for the class.
+
+        A path guard tolerates zero-progress cycles (e.g. chains of ASSUME
+        wires): when the best e-node would revisit a class already on the
+        current path, the next-cheapest e-node is used instead.
+        """
+        return self._build(self.egraph.find(class_id), frozenset())
+
+    def _build(self, class_id: int, path: frozenset[int]) -> Expr:
+        find = self.egraph.find
+        class_id = find(class_id)
+        if class_id in self._memo:
+            return self._memo[class_id]
+        if class_id in path:
+            raise _CycleError(class_id)
+        path = path | {class_id}
+
+        ranked = []
+        for enode in self._candidates(class_id):
+            cost = self._enode_cost(class_id, enode)
+            if cost is not None:
+                ranked.append((cost, repr(enode), enode))
+        ranked.sort(key=lambda t: (t[0], t[1]))
+        if not ranked:
+            raise KeyError(f"class {class_id} has no extractable expression")
+
+        last_error: _CycleError | None = None
+        for _cost, _tag, enode in ranked:
+            try:
+                expr = self._build_enode(enode, path)
+            except _CycleError as err:
+                last_error = err
+                continue
+            self._memo[class_id] = expr
+            return expr
+        raise last_error if last_error else KeyError(class_id)
+
+    def _build_enode(self, enode: ENode, path: frozenset[int]) -> Expr:
+        if enode.op is ops.ASSUME:
+            guarded = self._build(enode.children[0], path)
+            if self.strip_assumes:
+                return guarded
+            constraints = tuple(
+                self._build(c, path) for c in enode.children[1:]
+            )
+            return Expr(ops.ASSUME, (), (guarded,) + constraints)
+        kids = tuple(self._build(c, path) for c in enode.children)
+        return Expr(enode.op, enode.attrs, kids)
+
+
+class _CycleError(Exception):
+    """Internal: the chosen e-node closes a cycle on the current path."""
+
+    def __init__(self, class_id: int) -> None:
+        super().__init__(f"extraction cycle through class {class_id}")
+        self.class_id = class_id

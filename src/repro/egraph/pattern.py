@@ -1,0 +1,270 @@
+"""Pattern language and e-matching.
+
+Patterns are written as s-expressions, egg-style::
+
+    (+ ?a ?b)             commutativity binding ?a, ?b to e-classes
+    (* ?a 2)              literal integer -> CONST node
+    (lzc ?w ?a)           operator attributes come first (?w binds the width)
+    (mux ?c ?t ?f)        ternary
+    (assume ?x ?c)        ASSUME with exactly one constraint
+
+``?name`` in a child position is a :class:`PatternVar` (binds an e-class id);
+in an attribute position it is an :class:`AttrVar` (binds the attribute
+value).  E-matching returns every environment under which the pattern is
+present in a class.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.enode import ENode
+from repro.ir import ops
+from repro.ir.ops import Op
+
+
+@dataclass(frozen=True, slots=True)
+class PatternVar:
+    """Binds an e-class id."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class AttrVar:
+    """Binds an operator attribute value (e.g. a width)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class PatternNode:
+    """An operator application over sub-patterns."""
+
+    op: Op
+    attrs: tuple = ()
+    children: tuple["Pattern", ...] = ()
+
+    def __repr__(self) -> str:
+        parts = [self.op.name.lower()]
+        parts += [repr(a) for a in self.attrs]
+        parts += [repr(c) for c in self.children]
+        return "(" + " ".join(parts) + ")"
+
+
+Pattern = Union[PatternVar, PatternNode]
+
+#: Symbols accepted by :func:`parse_pattern`, mapped to operators.  The
+#: number of leading attribute slots is given by ``op.attr_names``.
+_SYMBOLS: dict[str, Op] = {
+    "+": ops.ADD,
+    "-": ops.SUB,
+    "*": ops.MUL,
+    "neg": ops.NEG,
+    "<<": ops.SHL,
+    ">>": ops.SHR,
+    "&": ops.AND,
+    "|": ops.OR,
+    "^": ops.XOR,
+    "bnot": ops.NOT,
+    "lnot": ops.LNOT,
+    "<": ops.LT,
+    "<=": ops.LE,
+    ">": ops.GT,
+    ">=": ops.GE,
+    "==": ops.EQ,
+    "!=": ops.NE,
+    "mux": ops.MUX,
+    "lzc": ops.LZC,
+    "trunc": ops.TRUNC,
+    "slice": ops.SLICE,
+    "concat": ops.CONCAT,
+    "abs": ops.ABS,
+    "min": ops.MIN,
+    "max": ops.MAX,
+    "assume": ops.ASSUME,
+}
+
+_TOKEN = re.compile(r"\(|\)|[^\s()]+")
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse an s-expression pattern string."""
+    tokens = _TOKEN.findall(text)
+    pos = 0
+
+    def parse() -> Pattern:
+        nonlocal pos
+        if pos >= len(tokens):
+            raise ValueError(f"unexpected end of pattern: {text!r}")
+        tok = tokens[pos]
+        pos += 1
+        if tok == "(":
+            head = tokens[pos]
+            pos += 1
+            op = _SYMBOLS.get(head)
+            if op is None:
+                raise ValueError(f"unknown operator {head!r} in {text!r}")
+            n_attrs = len(op.attr_names)
+            attrs = []
+            for _ in range(n_attrs):
+                a = tokens[pos]
+                pos += 1
+                if a.startswith("?"):
+                    attrs.append(AttrVar(a[1:]))
+                else:
+                    attrs.append(int(a))
+            children = []
+            while tokens[pos] != ")":
+                children.append(parse())
+            pos += 1  # consume ')'
+            if op.arity is not None and len(children) != op.arity:
+                raise ValueError(
+                    f"{op.name} wants {op.arity} children, got "
+                    f"{len(children)} in {text!r}"
+                )
+            return PatternNode(op, tuple(attrs), tuple(children))
+        if tok == ")":
+            raise ValueError(f"unbalanced ')' in {text!r}")
+        if tok.startswith("?"):
+            return PatternVar(tok[1:])
+        return PatternNode(ops.CONST, (int(tok),), ())
+
+    result = parse()
+    if pos != len(tokens):
+        raise ValueError(f"trailing tokens in {text!r}")
+    return result
+
+
+def as_pattern(spec: "Pattern | str") -> Pattern:
+    """Accept a pre-built pattern or an s-expression string."""
+    if isinstance(spec, str):
+        return parse_pattern(spec)
+    return spec
+
+
+def pattern_vars(pattern: Pattern) -> set[str]:
+    """All ?names appearing in the pattern (class and attr vars)."""
+    out: set[str] = set()
+    stack = [pattern]
+    while stack:
+        p = stack.pop()
+        if isinstance(p, PatternVar):
+            out.add(p.name)
+        else:
+            for a in p.attrs:
+                if isinstance(a, AttrVar):
+                    out.add(a.name)
+            stack.extend(p.children)
+    return out
+
+
+# -------------------------------------------------------------------- matching
+def _match_attrs(pattern: PatternNode, enode: ENode, env: dict) -> dict | None:
+    """Unify the attribute tuples; returns the extended env or None."""
+    new_env = env
+    for pat_a, node_a in zip(pattern.attrs, enode.attrs):
+        if isinstance(pat_a, AttrVar):
+            bound = new_env.get(pat_a.name, _UNSET)
+            if bound is _UNSET:
+                if new_env is env:
+                    new_env = dict(env)
+                new_env[pat_a.name] = node_a
+            elif bound != node_a:
+                return None
+        elif pat_a != node_a:
+            return None
+    return new_env
+
+
+_UNSET = object()
+
+
+def match_in_class(
+    egraph: EGraph, pattern: Pattern, class_id: int, env: dict
+) -> Iterator[dict]:
+    """Yield all environments extending ``env`` that place ``pattern`` in
+    the e-class ``class_id``."""
+    class_id = egraph.find(class_id)
+    if isinstance(pattern, PatternVar):
+        bound = env.get(pattern.name, _UNSET)
+        if bound is _UNSET:
+            new_env = dict(env)
+            new_env[pattern.name] = class_id
+            yield new_env
+        elif egraph.find(bound) == class_id:
+            yield env
+        return
+
+    for enode in list(egraph[class_id].nodes):
+        if enode.op is not pattern.op:
+            continue
+        if pattern.op.arity is None and len(enode.children) != len(pattern.children):
+            continue
+        yield from _match_node(egraph, pattern, enode, env)
+
+
+def _match_node(
+    egraph: EGraph, pattern: PatternNode, enode: ENode, env: dict
+) -> Iterator[dict]:
+    env2 = _match_attrs(pattern, enode, env)
+    if env2 is None:
+        return
+
+    def rec(i: int, cur: dict) -> Iterator[dict]:
+        if i == len(pattern.children):
+            yield cur
+            return
+        for nxt in match_in_class(egraph, pattern.children[i], enode.children[i], cur):
+            yield from rec(i + 1, nxt)
+
+    yield from rec(0, env2)
+
+
+def ematch(
+    egraph: EGraph,
+    pattern: Pattern,
+    index: dict[Op, list[tuple[int, ENode]]] | None = None,
+    limit: int = 100_000,
+) -> list[tuple[int, dict]]:
+    """Match ``pattern`` against every class; returns [(class id, env)].
+
+    ``index`` is the per-op node index from :meth:`EGraph.nodes_by_op`;
+    computing it once per runner iteration amortizes the scan.
+    """
+    results: list[tuple[int, dict]] = []
+    if isinstance(pattern, PatternVar):
+        raise ValueError("a bare pattern variable matches everything")
+    if index is None:
+        index = egraph.nodes_by_op()
+    for class_id, enode in index.get(pattern.op, ()):
+        root = egraph.find(class_id)
+        if pattern.op.arity is None and len(enode.children) != len(pattern.children):
+            continue
+        enode = enode.canonical(egraph.find)
+        for env in _match_node(egraph, pattern, enode, {}):
+            results.append((root, env))
+            if len(results) >= limit:
+                return results
+    return results
+
+
+# --------------------------------------------------------------- instantiation
+def instantiate(egraph: EGraph, pattern: Pattern, env: dict) -> int:
+    """Build the pattern in the e-graph under ``env``; returns the class id."""
+    if isinstance(pattern, PatternVar):
+        return egraph.find(env[pattern.name])
+    attrs = tuple(
+        env[a.name] if isinstance(a, AttrVar) else a for a in pattern.attrs
+    )
+    children = tuple(instantiate(egraph, c, env) for c in pattern.children)
+    return egraph.add_node(pattern.op, attrs, children)

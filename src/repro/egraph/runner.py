@@ -1,0 +1,184 @@
+"""Equality-saturation runner with an egg-style backoff scheduler.
+
+The runner repeatedly (1) searches every enabled rule against a per-iteration
+node index, (2) applies all matches constructively, (3) rebuilds congruence
+and the analyses, until saturation or a node / iteration / time limit —
+mirroring ``egg::Runner``.
+
+The :class:`BackoffScheduler` keeps match-hungry rules (associativity,
+commutativity) from drowning the graph: any rule producing more than its
+budget of matches in one iteration is banned for exponentially growing
+spans, exactly like egg's ``BackoffScheduler``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.rewrite import Rewrite
+
+
+class StopReason(Enum):
+    SATURATED = "saturated"
+    ITERATION_LIMIT = "iteration limit"
+    NODE_LIMIT = "node limit"
+    TIME_LIMIT = "time limit"
+
+
+@dataclass
+class IterationStats:
+    """Per-iteration bookkeeping (sizes match the paper's Section V stats)."""
+
+    index: int
+    nodes: int
+    classes: int
+    applied: dict[str, int] = field(default_factory=dict)
+    search_time: float = 0.0
+    apply_time: float = 0.0
+    rebuild_time: float = 0.0
+
+
+@dataclass
+class RunnerReport:
+    """Outcome of a saturation run."""
+
+    stop_reason: StopReason
+    iterations: list[IterationStats]
+    total_time: float
+
+    @property
+    def nodes(self) -> int:
+        return self.iterations[-1].nodes if self.iterations else 0
+
+    @property
+    def classes(self) -> int:
+        return self.iterations[-1].classes if self.iterations else 0
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{len(self.iterations)} iterations, {self.nodes} nodes, "
+            f"{self.classes} classes, stopped: {self.stop_reason.value}, "
+            f"{self.total_time:.2f}s"
+        )
+
+
+class BackoffScheduler:
+    """Ban rules that over-match, with doubling ban lengths."""
+
+    def __init__(self, match_limit: int = 1_000, ban_length: int = 2) -> None:
+        self.match_limit = match_limit
+        self.ban_length = ban_length
+        self._banned_until: dict[str, int] = {}
+        self._times_banned: dict[str, int] = {}
+
+    def enabled(self, rule: Rewrite, iteration: int) -> bool:
+        return self._banned_until.get(rule.name, -1) < iteration
+
+    def budget(self, rule: Rewrite) -> int:
+        shift = self._times_banned.get(rule.name, 0)
+        return self.match_limit << shift
+
+    def record(self, rule: Rewrite, matches: int, iteration: int) -> None:
+        if matches < self.budget(rule):
+            return
+        banned = self._times_banned.get(rule.name, 0)
+        self._times_banned[rule.name] = banned + 1
+        self._banned_until[rule.name] = iteration + (self.ban_length << banned)
+
+
+class Runner:
+    """Drive a set of rewrites over an e-graph until a stop condition."""
+
+    def __init__(
+        self,
+        egraph: EGraph,
+        rules: Sequence[Rewrite],
+        iter_limit: int = 16,
+        node_limit: int = 50_000,
+        time_limit: float = 120.0,
+        scheduler: BackoffScheduler | None = None,
+    ) -> None:
+        self.egraph = egraph
+        self.rules = list(rules)
+        self.iter_limit = iter_limit
+        self.node_limit = node_limit
+        self.time_limit = time_limit
+        self.scheduler = scheduler if scheduler is not None else BackoffScheduler()
+        self._spent_once_rules: set[str] = set()
+
+    def run(self) -> RunnerReport:
+        """Run to saturation or limits; the e-graph is mutated in place."""
+        start = time.perf_counter()
+        iterations: list[IterationStats] = []
+        stop = StopReason.ITERATION_LIMIT
+
+        self.egraph.rebuild()
+        for iteration in range(self.iter_limit):
+            stats = IterationStats(
+                index=iteration,
+                nodes=self.egraph.node_count,
+                classes=self.egraph.class_count,
+            )
+            version_before = self.egraph.version
+            index = self.egraph.nodes_by_op()
+
+            # --- search phase -------------------------------------------
+            t0 = time.perf_counter()
+            matches: list[tuple[Rewrite, list[tuple[int, dict]]]] = []
+            for rule in self.rules:
+                if rule.once and rule.name in self._spent_once_rules:
+                    continue
+                if not self.scheduler.enabled(rule, iteration):
+                    continue
+                found = rule.search(self.egraph, index, self.scheduler.budget(rule))
+                self.scheduler.record(rule, len(found), iteration)
+                if found:
+                    matches.append((rule, found))
+            stats.search_time = time.perf_counter() - t0
+
+            # --- apply phase --------------------------------------------
+            t0 = time.perf_counter()
+            for rule, found in matches:
+                applied = 0
+                for class_id, env in found:
+                    if rule.apply(self.egraph, class_id, env):
+                        applied += 1
+                    if self.egraph.node_count > self.node_limit:
+                        break
+                if applied:
+                    stats.applied[rule.name] = applied
+                    if rule.once:
+                        self._spent_once_rules.add(rule.name)
+                if self.egraph.node_count > self.node_limit:
+                    break
+            stats.apply_time = time.perf_counter() - t0
+
+            # --- rebuild phase ------------------------------------------
+            t0 = time.perf_counter()
+            self.egraph.rebuild()
+            stats.rebuild_time = time.perf_counter() - t0
+
+            stats.nodes = self.egraph.node_count
+            stats.classes = self.egraph.class_count
+            iterations.append(stats)
+
+            if self.egraph.version == version_before:
+                stop = StopReason.SATURATED
+                break
+            if self.egraph.node_count > self.node_limit:
+                stop = StopReason.NODE_LIMIT
+                break
+            if time.perf_counter() - start > self.time_limit:
+                stop = StopReason.TIME_LIMIT
+                break
+
+        return RunnerReport(
+            stop_reason=stop,
+            iterations=iterations,
+            total_time=time.perf_counter() - start,
+        )

@@ -1,0 +1,50 @@
+"""Disjoint-set forest with path compression and union by size."""
+
+from __future__ import annotations
+
+
+class UnionFind:
+    """Union-find over dense integer ids created by :meth:`make_set`."""
+
+    def __init__(self) -> None:
+        self._parent: list[int] = []
+        self._size: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def make_set(self) -> int:
+        """Create a fresh singleton set and return its id."""
+        new_id = len(self._parent)
+        self._parent.append(new_id)
+        self._size.append(1)
+        return new_id
+
+    def find(self, item: int) -> int:
+        """Canonical representative of ``item`` (with path compression)."""
+        root = item
+        parent = self._parent
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def in_same_set(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def union(self, a: int, b: int) -> tuple[int, int]:
+        """Merge the sets of ``a`` and ``b``.
+
+        Returns ``(root, absorbed)`` — the surviving canonical id and the id
+        that was absorbed (equal when already unified).  Union by size keeps
+        find paths short.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra, ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra, rb

@@ -1,0 +1,29 @@
+"""Finite unions of integer intervals — the abstract domain A of the paper.
+
+Section III-B of Coward et al. (DAC 2023) abstracts the set of 'care' values
+of an expression as a finite union of integer intervals::
+
+    A = { U_i [a_i, b_i] | a_i <= b_i, a_i, b_i in Z, n in N }
+
+:class:`Interval` is a single (possibly half-unbounded) integer interval and
+:class:`IntervalSet` is the canonical finite union used as e-class analysis
+data.  All arithmetic transfer functions used by the paper are provided,
+including the conservative modular reduction of eq. (5).
+"""
+
+from repro.intervals.interval import Interval, NEG_INF, POS_INF
+from repro.intervals.iset import IntervalSet
+from repro.intervals.bitops import max_and, max_or, max_xor, min_and, min_or, min_xor
+
+__all__ = [
+    "Interval",
+    "IntervalSet",
+    "NEG_INF",
+    "POS_INF",
+    "min_and",
+    "max_and",
+    "min_or",
+    "max_or",
+    "min_xor",
+    "max_xor",
+]

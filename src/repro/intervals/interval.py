@@ -1,0 +1,112 @@
+"""A single integer interval with optionally unbounded endpoints.
+
+Bounds are plain Python integers; ``None`` encodes minus infinity for the
+lower bound and plus infinity for the upper bound.  E-class abstractions of
+bitvector designs are always bounded (variables start at ``[0, 2^w - 1]``),
+but the constraint intervals of eq. (4) in the paper — e.g. ``(-inf, c')`` for
+a constraint ``x < c'`` — are half-lines, so unboundedness must be
+representable.  Arithmetic on unbounded operands escalates conservatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Sentinels re-exported for readability at call sites.
+NEG_INF = None
+POS_INF = None
+
+
+def _lo_le(a: int | None, b: int | None) -> bool:
+    """Is lower bound ``a`` <= lower bound ``b``? (``None`` = -inf)."""
+    if a is None:
+        return True
+    if b is None:
+        return False
+    return a <= b
+
+
+def _hi_le(a: int | None, b: int | None) -> bool:
+    """Is upper bound ``a`` <= upper bound ``b``? (``None`` = +inf)."""
+    if b is None:
+        return True
+    if a is None:
+        return False
+    return a <= b
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """Closed integer interval ``[lo, hi]``; ``None`` bounds are infinite."""
+
+    lo: int | None
+    hi: int | None
+
+    def __post_init__(self) -> None:
+        if self.lo is not None and self.hi is not None and self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def bounded(self) -> bool:
+        """True when both endpoints are finite."""
+        return self.lo is not None and self.hi is not None
+
+    @property
+    def is_point(self) -> bool:
+        """True when the interval contains exactly one integer."""
+        return self.lo is not None and self.lo == self.hi
+
+    def size(self) -> int | None:
+        """Number of integers contained, or ``None`` when infinite."""
+        if not self.bounded:
+            return None
+        return self.hi - self.lo + 1
+
+    def contains(self, value: int) -> bool:
+        """Membership test for a concrete integer."""
+        lo_ok = self.lo is None or value >= self.lo
+        hi_ok = self.hi is None or value <= self.hi
+        return lo_ok and hi_ok
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """True when ``other`` is a subset of this interval."""
+        return _lo_le(self.lo, other.lo) and _hi_le(other.hi, self.hi)
+
+    # -------------------------------------------------------------- structure
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """Intersection, or ``None`` when the intervals are disjoint."""
+        if _lo_le(self.lo, other.lo):
+            lo = other.lo
+        else:
+            lo = self.lo
+        if _hi_le(self.hi, other.hi):
+            hi = self.hi
+        else:
+            hi = other.hi
+        if lo is not None and hi is not None and lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def overlaps_or_adjacent(self, other: "Interval") -> bool:
+        """True when the union of the two intervals is itself an interval.
+
+        Integer intervals ``[1, 2]`` and ``[3, 4]`` are adjacent and merge to
+        ``[1, 4]`` even though they do not overlap.
+        """
+        if self.lo is not None and other.hi is not None and other.hi + 1 < self.lo:
+            return False
+        if other.lo is not None and self.hi is not None and self.hi + 1 < other.lo:
+            return False
+        return True
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both operands."""
+        lo = self.lo if _lo_le(self.lo, other.lo) else other.lo
+        hi = other.hi if _hi_le(self.hi, other.hi) else self.hi
+        return Interval(lo, hi)
+
+    def __repr__(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"

@@ -1,0 +1,87 @@
+"""Word-level intermediate language for combinational datapath logic.
+
+This is the intermediate language of Section IV of the paper: combinational
+logic over unsigned bitvectors, with an ``LZC`` (leading-zero count) operator
+added so operator-specific rewrites can fire, and an ``ASSUME`` operator that
+encodes the sub-domain equivalences of Section III.
+
+Semantics (see DESIGN.md): ``+``, ``-``, ``*``, ``<<`` are exact over the
+integers — widths grow as needed and wrapping is expressed explicitly with
+:data:`~repro.ir.ops.TRUNC`.  The evaluator works over ``Z' = Z ∪ {*}``
+(:data:`~repro.ir.evaluate.BOT`), where ``*`` models a failed ``ASSUME``.
+"""
+
+from repro.ir.ops import (
+    Op,
+    OPS_BY_NAME,
+    ABS,
+    ADD,
+    AND,
+    ASSUME,
+    CONCAT,
+    CONST,
+    EQ,
+    GE,
+    GT,
+    LE,
+    LNOT,
+    LT,
+    LZC,
+    MAX,
+    MIN,
+    MUL,
+    MUX,
+    NE,
+    NEG,
+    NOT,
+    OR,
+    SHL,
+    SHR,
+    SLICE,
+    SUB,
+    TRUNC,
+    VAR,
+    XOR,
+)
+from repro.ir.expr import (
+    Expr,
+    abs_,
+    assume,
+    bitnot,
+    concat,
+    const,
+    eq,
+    ge,
+    gt,
+    le,
+    lnot,
+    lt,
+    lzc,
+    max_,
+    min_,
+    mux,
+    ne,
+    slice_,
+    trunc,
+    var,
+)
+from repro.ir.evaluate import BOT, evaluate, evaluate_total, input_variables
+
+__all__ = [
+    "Op",
+    "OPS_BY_NAME",
+    "Expr",
+    "BOT",
+    "evaluate",
+    "evaluate_total",
+    "input_variables",
+    # ops
+    "VAR", "CONST", "ADD", "SUB", "MUL", "NEG", "SHL", "SHR",
+    "AND", "OR", "XOR", "NOT", "LNOT", "LT", "LE", "GT", "GE",
+    "EQ", "NE", "MUX", "LZC", "TRUNC", "SLICE", "CONCAT", "ABS",
+    "MIN", "MAX", "ASSUME",
+    # builders
+    "var", "const", "mux", "assume", "lzc", "trunc", "slice_", "concat",
+    "lt", "le", "gt", "ge", "eq", "ne", "lnot", "bitnot", "abs_",
+    "min_", "max_",
+]

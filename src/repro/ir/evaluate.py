@@ -1,0 +1,209 @@
+"""Concrete semantics over ``Z' = Z ∪ {*}`` (eq. (1) of the paper).
+
+``*`` (:data:`BOT`) models "failing an assertion": an ``ASSUME`` whose
+constraint does not hold.  Every operator is strict in ``*`` **except** the
+ternary ``MUX``, which returns ``*`` only when the condition is ``*`` or the
+*reachable* branch is ``*`` — exactly the special treatment Section III-B
+prescribes.
+
+Bitwise operators and slices are defined on non-negative operands only;
+applying them to a negative value yields ``*`` (such applications never occur
+in well-formed designs, and the abstract domain proves it).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.ir import ops
+from repro.ir.expr import Expr
+
+
+class _Bot:
+    """Singleton for the ``*`` element of ``Z'``."""
+
+    _instance: "_Bot | None" = None
+
+    def __new__(cls) -> "_Bot":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+BOT = _Bot()
+
+Value = "int | _Bot"
+
+
+def input_variables(expr: Expr) -> dict[str, int]:
+    """Map of variable name -> declared width over the whole tree."""
+    out: dict[str, int] = {}
+    for node in expr.walk():
+        if node.op is ops.VAR:
+            name, width = node.attrs
+            if out.get(name, width) != width:
+                raise ValueError(f"variable {name} used at two widths")
+            out[name] = width
+    return out
+
+
+def evaluate(expr: Expr, env: Mapping[str, int]) -> "int | _Bot":
+    """Evaluate ``expr`` under ``env``; may return :data:`BOT`.
+
+    Uses an explicit stack with memoization so deep designs do not hit the
+    recursion limit.
+    """
+    memo: dict[Expr, "int | _Bot"] = {}
+    stack: list[tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, ready = stack.pop()
+        if node in memo:
+            continue
+        if not ready:
+            stack.append((node, True))
+            for child in node.children:
+                if child not in memo:
+                    stack.append((child, False))
+            continue
+        kids = [memo[c] for c in node.children]
+        memo[node] = _apply(node, kids, env)
+    return memo[expr]
+
+
+def evaluate_total(expr: Expr, env: Mapping[str, int]) -> int:
+    """Evaluate and require a non-``*`` result."""
+    result = evaluate(expr, env)
+    if result is BOT:
+        raise ValueError(f"expression evaluated to * under {dict(env)!r}")
+    return result
+
+
+def _apply(node: Expr, kids: list, env: Mapping[str, int]):
+    """Apply one operator to already-evaluated children."""
+    op = node.op
+
+    if op is ops.VAR:
+        name, width = node.attrs
+        value = env[name]
+        if not 0 <= value < (1 << width):
+            raise ValueError(f"input {name}={value} outside [0, 2^{width})")
+        return value
+    if op is ops.CONST:
+        return node.attrs[0]
+
+    if op is ops.MUX:
+        cond, if_true, if_false = kids
+        if cond is BOT:
+            return BOT
+        return if_true if cond != 0 else if_false
+
+    if op is ops.ASSUME:
+        value = kids[0]
+        for c in kids[1:]:
+            if c is BOT or c == 0:
+                return BOT
+        return value
+
+    # Every remaining operator is strict in *.
+    if any(k is BOT for k in kids):
+        return BOT
+
+    if op is ops.ADD:
+        return kids[0] + kids[1]
+    if op is ops.SUB:
+        return kids[0] - kids[1]
+    if op is ops.MUL:
+        return kids[0] * kids[1]
+    if op is ops.NEG:
+        return -kids[0]
+    if op is ops.SHL:
+        if kids[1] < 0:
+            return BOT
+        return kids[0] << kids[1]
+    if op is ops.SHR:
+        if kids[1] < 0:
+            return BOT
+        return kids[0] >> kids[1]
+    if op is ops.AND:
+        if kids[0] < 0 or kids[1] < 0:
+            return BOT
+        return kids[0] & kids[1]
+    if op is ops.OR:
+        if kids[0] < 0 or kids[1] < 0:
+            return BOT
+        return kids[0] | kids[1]
+    if op is ops.XOR:
+        if kids[0] < 0 or kids[1] < 0:
+            return BOT
+        return kids[0] ^ kids[1]
+    if op is ops.NOT:
+        (width,) = node.attrs
+        if not 0 <= kids[0] < (1 << width):
+            return BOT
+        return ((1 << width) - 1) - kids[0]
+    if op is ops.LNOT:
+        return 1 if kids[0] == 0 else 0
+    if op is ops.LT:
+        return int(kids[0] < kids[1])
+    if op is ops.LE:
+        return int(kids[0] <= kids[1])
+    if op is ops.GT:
+        return int(kids[0] > kids[1])
+    if op is ops.GE:
+        return int(kids[0] >= kids[1])
+    if op is ops.EQ:
+        return int(kids[0] == kids[1])
+    if op is ops.NE:
+        return int(kids[0] != kids[1])
+    if op is ops.LZC:
+        (width,) = node.attrs
+        if not 0 <= kids[0] < (1 << width):
+            return BOT
+        return width - kids[0].bit_length()
+    if op is ops.TRUNC:
+        (width,) = node.attrs
+        return kids[0] % (1 << width)
+    if op is ops.SLICE:
+        hi, lo = node.attrs
+        if kids[0] < 0:
+            return BOT
+        return (kids[0] >> lo) & ((1 << (hi - lo + 1)) - 1)
+    if op is ops.CONCAT:
+        (rhs_width,) = node.attrs
+        msbs, lsbs = kids
+        if msbs < 0 or not 0 <= lsbs < (1 << rhs_width):
+            return BOT
+        return (msbs << rhs_width) | lsbs
+    if op is ops.ABS:
+        return abs(kids[0])
+    if op is ops.MIN:
+        return min(kids[0], kids[1])
+    if op is ops.MAX:
+        return max(kids[0], kids[1])
+
+    raise NotImplementedError(f"no semantics for {op}")
+
+
+def random_env(widths: Mapping[str, int], rng) -> dict[str, int]:
+    """Uniformly random assignment to the given variables."""
+    return {name: rng.randrange(1 << width) for name, width in widths.items()}
+
+
+def exhaustive_envs(widths: Mapping[str, int]) -> Iterator[dict[str, int]]:
+    """Iterate every assignment (use only when the input space is small)."""
+    names = sorted(widths)
+    totals = [1 << widths[n] for n in names]
+    count = 1
+    for t in totals:
+        count *= t
+    index = [0] * len(names)
+    for _ in range(count):
+        yield dict(zip(names, index))
+        for i in range(len(names)):
+            index[i] += 1
+            if index[i] < totals[i]:
+                break
+            index[i] = 0

@@ -1,0 +1,100 @@
+"""Operator catalogue of the intermediate language.
+
+Every operator is a singleton :class:`Op` carrying its arity and the names of
+its immutable attributes.  Attributes are part of e-node identity (an 8-bit
+``TRUNC`` is a different function from a 12-bit one); children are expression
+(or e-class) references.
+
+Leaf operators:
+
+=========  =======================  =====================================
+operator   attributes               meaning
+=========  =======================  =====================================
+``VAR``    ``(name, width)``        unsigned input, domain ``[0, 2^w - 1]``
+``CONST``  ``(value,)``             integer literal (may be negative)
+=========  =======================  =====================================
+
+``ASSUME`` is variadic: child 0 is the guarded expression, children 1..n are
+constraint expressions treated as a *set* (order-insensitive; the e-graph
+canonicalizes the tail sorted by e-class id).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Op:
+    """An operator of the intermediate language.
+
+    ``arity`` is the number of expression children; ``None`` marks the
+    variadic ``ASSUME``.  ``attr_names`` documents the positional attribute
+    tuple carried by nodes of this operator.
+    """
+
+    name: str
+    arity: int | None
+    attr_names: tuple[str, ...] = field(default=())
+    symbol: str = ""
+
+    def __repr__(self) -> str:
+        return self.name
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.arity == 0
+
+    @property
+    def is_variadic(self) -> bool:
+        return self.arity is None
+
+
+VAR = Op("VAR", 0, ("name", "width"))
+CONST = Op("CONST", 0, ("value",))
+
+ADD = Op("ADD", 2, symbol="+")
+SUB = Op("SUB", 2, symbol="-")
+MUL = Op("MUL", 2, symbol="*")
+NEG = Op("NEG", 1, symbol="-")
+
+SHL = Op("SHL", 2, symbol="<<")
+SHR = Op("SHR", 2, symbol=">>")
+
+AND = Op("AND", 2, symbol="&")
+OR = Op("OR", 2, symbol="|")
+XOR = Op("XOR", 2, symbol="^")
+NOT = Op("NOT", 1, ("width",), symbol="~")
+LNOT = Op("LNOT", 1, symbol="!")
+
+LT = Op("LT", 2, symbol="<")
+LE = Op("LE", 2, symbol="<=")
+GT = Op("GT", 2, symbol=">")
+GE = Op("GE", 2, symbol=">=")
+EQ = Op("EQ", 2, symbol="==")
+NE = Op("NE", 2, symbol="!=")
+
+MUX = Op("MUX", 3)
+LZC = Op("LZC", 1, ("width",))
+TRUNC = Op("TRUNC", 1, ("width",))
+SLICE = Op("SLICE", 1, ("hi", "lo"))
+CONCAT = Op("CONCAT", 2, ("rhs_width",))
+ABS = Op("ABS", 1)
+MIN = Op("MIN", 2)
+MAX = Op("MAX", 2)
+
+ASSUME = Op("ASSUME", None)
+
+ALL_OPS: tuple[Op, ...] = (
+    VAR, CONST, ADD, SUB, MUL, NEG, SHL, SHR, AND, OR, XOR, NOT, LNOT,
+    LT, LE, GT, GE, EQ, NE, MUX, LZC, TRUNC, SLICE, CONCAT, ABS, MIN, MAX,
+    ASSUME,
+)
+
+OPS_BY_NAME: dict[str, Op] = {op.name: op for op in ALL_OPS}
+
+#: Comparison operators returning a 1-bit 0/1 result.
+COMPARISONS: frozenset[Op] = frozenset({LT, LE, GT, GE, EQ, NE})
+
+#: Operators whose two children commute.
+COMMUTATIVE: frozenset[Op] = frozenset({ADD, MUL, AND, OR, XOR, MIN, MAX})

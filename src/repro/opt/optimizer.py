@@ -1,0 +1,169 @@
+"""The optimizer pipeline: ingest -> rewrite (phased) -> extract -> verify."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.analysis import DatapathAnalysis
+from repro.egraph import EGraph, Extractor, Runner, RunnerReport
+from repro.egraph.rewrite import Rewrite
+from repro.intervals import IntervalSet
+from repro.ir.expr import Expr
+from repro.opt.report import model_cost
+from repro.rewrites import all_rules
+from repro.rewrites.casesplit import case_split_on
+from repro.rtl import emit_verilog, module_to_ir
+from repro.synth.cost import DelayArea, DelayAreaCost, default_key
+from repro.verify import EquivalenceResult, check_equivalent
+
+
+@dataclass
+class OptimizerConfig:
+    """Knobs of the tool (defaults follow the paper's settings)."""
+
+    #: equality-saturation iterations (the paper's case study uses 11; the
+    #: small Section VI cases use 6).
+    iter_limit: int = 8
+    node_limit: int = 30_000
+    time_limit: float = 60.0
+    #: case-split threshold for ``a - (b >> c)`` (Section V splits at c > 1);
+    #: None disables case splitting.
+    split_threshold: int | None = 1
+    #: ablation switches (benchmarks exercise these).
+    enable_assume: bool = True
+    enable_condition_rewriting: bool = True
+    #: verify the optimized design against the original after extraction.
+    verify: bool = True
+    #: extraction objective key (delay, area) -> ordering key.
+    extraction_key = staticmethod(default_key)
+
+    def rules(self) -> list[Rewrite]:
+        selected = all_rules(self.split_threshold)
+        if not self.enable_assume:
+            selected = [r for r in selected if not r.name.startswith(("assume", "mux-branch"))]
+        if not self.enable_condition_rewriting:
+            selected = [r for r in selected if not r.name.startswith("cond-")]
+        return selected
+
+
+@dataclass
+class OptimizationResult:
+    """Everything produced for one design root."""
+
+    original: Expr
+    optimized: Expr
+    original_cost: DelayArea
+    optimized_cost: DelayArea
+    report: RunnerReport
+    equivalence: EquivalenceResult | None
+    runtime: float
+    input_ranges: dict[str, IntervalSet] = field(default_factory=dict)
+
+    @property
+    def delay_improvement(self) -> float:
+        """Fractional model-delay reduction (0.33 = 33% faster)."""
+        if self.original_cost.delay == 0:
+            return 0.0
+        return 1.0 - self.optimized_cost.delay / self.original_cost.delay
+
+    @property
+    def area_improvement(self) -> float:
+        """Fractional model-area reduction."""
+        if self.original_cost.area == 0:
+            return 0.0
+        return 1.0 - self.optimized_cost.area / self.original_cost.area
+
+    def emit_verilog(self, module_name: str = "optimized", output: str = "out") -> str:
+        """Render the optimized design as Verilog."""
+        return emit_verilog({output: self.optimized}, module_name, self.input_ranges)
+
+
+@dataclass
+class ModuleResult:
+    """Results for a whole module (one entry per output port)."""
+
+    outputs: dict[str, OptimizationResult]
+    egraph: EGraph
+    report: RunnerReport
+
+    def emit_verilog(self, module_name: str = "optimized") -> str:
+        exprs = {name: r.optimized for name, r in self.outputs.items()}
+        ranges = next(iter(self.outputs.values())).input_ranges if self.outputs else {}
+        return emit_verilog(exprs, module_name, ranges)
+
+
+class DatapathOptimizer:
+    """Parse, rewrite, extract, verify — the paper's tool."""
+
+    def __init__(
+        self,
+        input_ranges: Mapping[str, IntervalSet] | None = None,
+        config: OptimizerConfig | None = None,
+    ) -> None:
+        self.input_ranges = dict(input_ranges or {})
+        self.config = config if config is not None else OptimizerConfig()
+
+    # ----------------------------------------------------------------- entry
+    def optimize_expr(
+        self, expr: Expr, user_splits: Sequence[Expr] = ()
+    ) -> OptimizationResult:
+        """Optimize a single IR expression."""
+        result = self.optimize_exprs({"out": expr}, user_splits)
+        return result.outputs["out"]
+
+    def optimize_verilog(
+        self, source: str, user_splits: Sequence[Expr] = ()
+    ) -> ModuleResult:
+        """Optimize every output of a Verilog module (joint e-graph)."""
+        return self.optimize_exprs(module_to_ir(source), user_splits)
+
+    def optimize_exprs(
+        self, roots: Mapping[str, Expr], user_splits: Sequence[Expr] = ()
+    ) -> ModuleResult:
+        """Optimize several roots sharing one e-graph."""
+        started = time.perf_counter()
+        egraph = EGraph([DatapathAnalysis(self.input_ranges)])
+        root_ids = {name: egraph.add_expr(e) for name, e in roots.items()}
+        egraph.rebuild()
+        for name, root_id in root_ids.items():
+            for split in user_splits:
+                case_split_on(egraph, root_id, split)
+
+        runner = Runner(
+            egraph,
+            self.config.rules(),
+            iter_limit=self.config.iter_limit,
+            node_limit=self.config.node_limit,
+            time_limit=self.config.time_limit,
+        )
+        report = runner.run()
+
+        cost_fn = DelayAreaCost(self.config.extraction_key)
+        # ASSUME wrappers are kept in the extracted tree: the tree-level
+        # range analysis re-derives the constraint refinements from them, so
+        # netlist lowering and Verilog emission see the reduced bitwidths.
+        extractor = Extractor(egraph, cost_fn, strip_assumes=False)
+        outputs: dict[str, OptimizationResult] = {}
+        for name, expr in roots.items():
+            optimized = extractor.expr_of(root_ids[name])
+            equivalence = None
+            if self.config.verify:
+                equivalence = check_equivalent(expr, optimized, self.input_ranges)
+                if equivalence.equivalent is False:
+                    raise AssertionError(
+                        f"optimizer produced a non-equivalent design for "
+                        f"{name!r} at {equivalence.counterexample}"
+                    )
+            outputs[name] = OptimizationResult(
+                original=expr,
+                optimized=optimized,
+                original_cost=model_cost(expr, self.input_ranges),
+                optimized_cost=model_cost(optimized, self.input_ranges),
+                report=report,
+                equivalence=equivalence,
+                runtime=time.perf_counter() - started,
+                input_ranges=dict(self.input_ranges),
+            )
+        return ModuleResult(outputs=outputs, egraph=egraph, report=report)

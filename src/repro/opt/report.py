@@ -1,0 +1,48 @@
+"""Cost evaluation of plain expression trees and report formatting."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis import DatapathAnalysis
+from repro.egraph import EGraph, Extractor
+from repro.intervals import IntervalSet
+from repro.ir.expr import Expr
+from repro.synth.cost import DelayArea, DelayAreaCost
+
+
+def model_cost(
+    expr: Expr, input_ranges: Mapping[str, IntervalSet] | None = None
+) -> DelayArea:
+    """Section IV-D model cost of a *fixed* expression tree.
+
+    The tree is loaded into a throwaway e-graph (no rewriting) so the cost
+    function sees analysis widths, then costed as-is.
+    """
+    egraph = EGraph([DatapathAnalysis(dict(input_ranges or {}))])
+    root = egraph.add_expr(expr)
+    egraph.rebuild()
+    extractor = Extractor(egraph, DelayAreaCost())
+    return extractor.cost_of(root)
+
+
+def format_comparison(
+    rows: list[tuple[str, float, float, float, float]],
+    headers: tuple[str, str] = ("Behavioural", "Optimized"),
+) -> str:
+    """Render a Table III style comparison.
+
+    ``rows`` entries: (name, delay_a, area_a, delay_b, area_b).
+    """
+    lines = [
+        f"{'Test Case':<16} {headers[0]:>22} {headers[1]:>28}",
+        f"{'':<16} {'delay':>10} {'area':>11} {'delay':>14} {'area':>13}",
+    ]
+    for name, delay_a, area_a, delay_b, area_b in rows:
+        delay_pct = 100.0 * (delay_b - delay_a) / delay_a if delay_a else 0.0
+        area_pct = 100.0 * (area_b - area_a) / area_a if area_a else 0.0
+        lines.append(
+            f"{name:<16} {delay_a:>10.2f} {area_a:>11.1f} "
+            f"{delay_b:>8.2f} ({delay_pct:+3.0f}%) {area_b:>7.1f} ({area_pct:+3.0f}%)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Word-level arithmetic, comparison and bitwise algebra.
+
+All identities hold over exact integer semantics (see DESIGN.md); rules whose
+right-hand side drops an operand are automatically totality-guarded by
+:func:`~repro.rewrites.soundness.drule`.
+"""
+
+from __future__ import annotations
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.rewrite import Rewrite, dynamic
+from repro.ir import ops
+from repro.rewrites.soundness import boolean, drule, nonneg
+
+
+def arith_rules() -> list[Rewrite]:
+    """The base arithmetic rule set."""
+    rules = [
+        # --- commutativity / associativity --------------------------------
+        drule("add-comm", "(+ ?a ?b)", "(+ ?b ?a)"),
+        drule("mul-comm", "(* ?a ?b)", "(* ?b ?a)"),
+        drule("add-assoc", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"),
+        drule("add-assoc-rev", "(+ ?a (+ ?b ?c))", "(+ (+ ?a ?b) ?c)"),
+        drule("and-comm", "(& ?a ?b)", "(& ?b ?a)"),
+        drule("or-comm", "(| ?a ?b)", "(| ?b ?a)"),
+        drule("xor-comm", "(^ ?a ?b)", "(^ ?b ?a)"),
+        drule("min-comm", "(min ?a ?b)", "(min ?b ?a)"),
+        drule("max-comm", "(max ?a ?b)", "(max ?b ?a)"),
+        # --- identities ----------------------------------------------------
+        drule("add-zero", "(+ ?a 0)", "?a"),
+        drule("sub-zero", "(- ?a 0)", "?a"),
+        drule("sub-self", "(- ?a ?a)", "0"),
+        drule("mul-one", "(* ?a 1)", "?a"),
+        drule("mul-zero", "(* ?a 0)", "0"),
+        drule("min-self", "(min ?a ?a)", "?a"),
+        drule("max-self", "(max ?a ?a)", "?a"),
+        drule("or-zero", "(| ?a 0)", "?a", nonneg("a")),
+        drule("xor-zero", "(^ ?a 0)", "?a", nonneg("a")),
+        drule("and-zero", "(& ?a 0)", "0", nonneg("a")),
+        drule("and-self", "(& ?a ?a)", "?a", nonneg("a")),
+        drule("or-self", "(| ?a ?a)", "?a", nonneg("a")),
+        drule("xor-self", "(^ ?a ?a)", "0", nonneg("a")),
+        # --- add/sub algebra ------------------------------------------------
+        drule("sub-add-cancel", "(- (+ ?a ?b) ?b)", "?a"),
+        drule("add-sub-cancel", "(+ (- ?a ?b) ?b)", "?a"),
+        drule("sub-sub", "(- (- ?a ?b) ?c)", "(- ?a (+ ?b ?c))"),
+        drule("sub-sub-rev", "(- ?a (+ ?b ?c))", "(- (- ?a ?b) ?c)"),
+        drule("sub-of-sub", "(- ?a (- ?b ?c))", "(+ (- ?a ?b) ?c)"),
+        drule("neg-as-sub", "(neg ?a)", "(- 0 ?a)"),
+        drule("sub-as-neg", "(- 0 ?a)", "(neg ?a)"),
+        drule("neg-neg", "(neg (neg ?a))", "?a"),
+        drule("add-neg", "(+ ?a (neg ?b))", "(- ?a ?b)"),
+        drule("sub-neg", "(- ?a (neg ?b))", "(+ ?a ?b)"),
+        drule("sub-swap", "(neg (- ?a ?b))", "(- ?b ?a)"),
+        # --- comparison symmetry --------------------------------------------
+        drule("lt-gt", "(< ?a ?b)", "(> ?b ?a)"),
+        drule("gt-lt", "(> ?a ?b)", "(< ?b ?a)"),
+        drule("le-ge", "(<= ?a ?b)", "(>= ?b ?a)"),
+        drule("ge-le", "(>= ?a ?b)", "(<= ?b ?a)"),
+        drule("eq-comm", "(== ?a ?b)", "(== ?b ?a)"),
+        drule("ne-comm", "(!= ?a ?b)", "(!= ?b ?a)"),
+        # --- abs / min / max ------------------------------------------------
+        drule("abs-as-mux", "(abs ?a)", "(mux (< ?a 0) (neg ?a) ?a)"),
+        drule("mux-as-abs", "(mux (< ?a 0) (neg ?a) ?a)", "(abs ?a)"),
+        drule("abs-neg", "(abs (neg ?a))", "(abs ?a)"),
+        drule("min-as-mux", "(min ?a ?b)", "(mux (< ?a ?b) ?a ?b)"),
+        drule("max-as-mux", "(max ?a ?b)", "(mux (> ?a ?b) ?a ?b)"),
+        # --- boolean simplification (guarded to {0,1} operands) -------------
+        drule("lnot-lnot", "(lnot (lnot ?a))", "?a", boolean("a")),
+        drule("ne-zero-bool", "(!= ?a 0)", "?a", boolean("a")),
+        drule("eq-zero-lnot", "(== ?a 0)", "(lnot ?a)"),
+        drule("lnot-as-eq", "(lnot ?a)", "(== ?a 0)"),
+    ]
+    rules.append(mul_pow2_to_shl())
+    return rules
+
+
+def mul_pow2_to_shl() -> Rewrite:
+    """``a * 2^k -> a << k`` for constant powers of two (strength reduction)."""
+
+    def search(egraph: EGraph, index: dict):
+        for class_id, enode in index.get(ops.MUL, ()):
+            for position in (0, 1):
+                value = egraph.class_const(enode.children[position])
+                if value is not None and value > 0 and (value & (value - 1)) == 0:
+                    other = enode.children[1 - position]
+                    yield egraph.find(class_id), {
+                        "a": other,
+                        "k": value.bit_length() - 1,
+                    }
+
+    def apply(egraph: EGraph, env: dict, class_id: int):
+        shift = egraph.add_const(env["k"])
+        return egraph.add_node(ops.SHL, (), (egraph.find(env["a"]), shift))
+
+    return dynamic("mul-pow2-shl", search, apply)

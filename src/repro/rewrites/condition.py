@@ -1,0 +1,44 @@
+"""Table II: condition rewriting into the ``Constr`` fragment.
+
+=====================  =========================
+Transformation rules   Inversion rules
+=====================  =========================
+``a <  b -> a-b <  0``  ``~(a == b) -> a != b``
+``a <= b -> a < b+1``   ``~(a >  b) -> a <= b``
+``a >  b -> a-b >  0``  ``~(a >= b) -> a <  b``
+``a >= b -> a > b-1``   ``~(a <  b) -> a >= b``
+``a == b -> a-b == 0``  ``~(a <= b) -> a >  b``
+``a == b -> 0 == b-a``
+=====================  =========================
+
+These hold unconditionally over exact integer semantics.  Their purpose
+(Section IV-C) is to morph an arbitrary condition into a member of
+``Constr`` — "expression compared with a constant" — so that the ASSUME
+abstraction of eq. (4) can refine ranges.  Because a constraint e-class
+*accumulates* every equivalent form, any one interpretable member suffices.
+"""
+
+from __future__ import annotations
+
+from repro.egraph.rewrite import Rewrite
+from repro.rewrites.soundness import drule
+
+
+def condition_rules() -> list[Rewrite]:
+    """The full Table II rule set (plus the missing-but-sound ~(a != b))."""
+    return [
+        # --- transformation rules ----------------------------------------
+        drule("cond-lt-sub", "(< ?a ?b)", "(< (- ?a ?b) 0)"),
+        drule("cond-le-lt", "(<= ?a ?b)", "(< ?a (+ ?b 1))"),
+        drule("cond-gt-sub", "(> ?a ?b)", "(> (- ?a ?b) 0)"),
+        drule("cond-ge-gt", "(>= ?a ?b)", "(> ?a (- ?b 1))"),
+        drule("cond-eq-sub", "(== ?a ?b)", "(== (- ?a ?b) 0)"),
+        drule("cond-eq-sub-rev", "(== ?a ?b)", "(== 0 (- ?b ?a))"),
+        # --- inversion rules ----------------------------------------------
+        drule("cond-not-eq", "(lnot (== ?a ?b))", "(!= ?a ?b)"),
+        drule("cond-not-gt", "(lnot (> ?a ?b))", "(<= ?a ?b)"),
+        drule("cond-not-ge", "(lnot (>= ?a ?b))", "(< ?a ?b)"),
+        drule("cond-not-lt", "(lnot (< ?a ?b))", "(>= ?a ?b)"),
+        drule("cond-not-le", "(lnot (<= ?a ?b))", "(> ?a ?b)"),
+        drule("cond-not-ne", "(lnot (!= ?a ?b))", "(== ?a ?b)"),
+    ]

@@ -1,0 +1,48 @@
+"""Curated rule sets for the optimizer's phases (see DESIGN.md).
+
+The paper runs "a set of parameterized and generalized constraint-aware
+rewrites at the word level" for a number of iterations.  We group the rules
+so the driver (:mod:`repro.opt`) can schedule them the way Section V
+describes: split & assume first, then constraint exploitation, then
+narrowing.
+"""
+
+from __future__ import annotations
+
+from repro.egraph.rewrite import Rewrite
+from repro.rewrites.arith import arith_rules
+from repro.rewrites.assume import assume_rules
+from repro.rewrites.casesplit import casesplit_rules
+from repro.rewrites.condition import condition_rules
+from repro.rewrites.mux import mux_cond_const_rule, mux_pull_rule, mux_rules
+from repro.rewrites.range_rules import range_rules
+from repro.rewrites.shift import shift_rules
+
+__all__ = [
+    "arith_rules",
+    "shift_rules",
+    "mux_rules",
+    "assume_rules",
+    "condition_rules",
+    "range_rules",
+    "casesplit_rules",
+    "all_rules",
+]
+
+
+def all_rules(split_threshold: int | None = 1) -> list[Rewrite]:
+    """Everything, for single-phase runs on small designs.
+
+    ``split_threshold=None`` omits the case-split rule (ablation hook).
+    """
+    rules: list[Rewrite] = []
+    rules += arith_rules()
+    rules += shift_rules()
+    rules += mux_rules()
+    rules += [mux_pull_rule(), mux_cond_const_rule()]
+    rules += assume_rules()
+    rules += condition_rules()
+    rules += range_rules()
+    if split_threshold is not None:
+        rules += casesplit_rules(split_threshold)
+    return rules

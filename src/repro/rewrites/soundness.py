@@ -1,0 +1,103 @@
+"""Rule-construction helpers that keep rewrites sound over ``Z' = Z ∪ {*}``.
+
+The e-graph's congruence is *pointwise equality including ``*``* (eq. (2) of
+the paper works only because of this).  A classical identity like
+``a - a -> 0`` is therefore unsound when ``a`` may evaluate to ``*``: the
+left side is ``*`` wherever ``a`` is, the right side never.  The fix is a
+*totality guard*: the rule may fire only when every variable the RHS drops is
+provably total.  :func:`drule` derives those guards automatically from the
+pattern variables, so individual rules cannot forget them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis import range_of, total_of
+from repro.egraph.egraph import EGraph
+from repro.egraph.pattern import as_pattern, pattern_vars
+from repro.egraph.rewrite import Rewrite, rewrite
+from repro.intervals import IntervalSet
+
+
+def drule(
+    name: str,
+    lhs: str,
+    rhs: str,
+    *conditions,
+    once: bool = False,
+    unguarded: tuple[str, ...] = (),
+) -> Rewrite:
+    """A declarative datapath rule with automatic totality guards.
+
+    ``unguarded`` exempts variables that are dropped from a *non-strict*
+    position (a mux branch is never evaluated when not selected, so dropping
+    it needs no totality proof).
+    """
+    lhs_pat, rhs_pat = as_pattern(lhs), as_pattern(rhs)
+    dropped = sorted(pattern_vars(lhs_pat) - pattern_vars(rhs_pat) - set(unguarded))
+    guards = tuple(conditions)
+    if dropped:
+        guards = (_all_total(dropped),) + guards
+    return rewrite(name, lhs_pat, rhs_pat, *guards, once=once)
+
+
+def _all_total(names: list[str]) -> Callable[[EGraph, dict], bool]:
+    def check(egraph: EGraph, env: dict) -> bool:
+        return all(total_of(egraph, env[n]) for n in names if n in env)
+
+    return check
+
+
+# ------------------------------------------------------------------ conditions
+def nonneg(*names: str) -> Callable[[EGraph, dict], bool]:
+    """Condition: each named class has a provably non-negative range."""
+
+    def check(egraph: EGraph, env: dict) -> bool:
+        for name in names:
+            low = range_of(egraph, env[name]).min()
+            if low is None or low < 0:
+                return False
+        return True
+
+    return check
+
+
+def boolean(*names: str) -> Callable[[EGraph, dict], bool]:
+    """Condition: each named class has range within {0, 1}."""
+    zero_one = IntervalSet.of(0, 1)
+
+    def check(egraph: EGraph, env: dict) -> bool:
+        return all(range_of(egraph, env[n]).issubset(zero_one) for n in names)
+
+    return check
+
+
+def total(*names: str) -> Callable[[EGraph, dict], bool]:
+    """Condition: each named class is provably total (never ``*``)."""
+
+    def check(egraph: EGraph, env: dict) -> bool:
+        return all(total_of(egraph, env[n]) for n in names)
+
+    return check
+
+
+def in_range(name: str, lo: int | None, hi: int | None) -> Callable[[EGraph, dict], bool]:
+    """Condition: the named class's range is within ``[lo, hi]``."""
+    box = IntervalSet.of(lo, hi)
+
+    def check(egraph: EGraph, env: dict) -> bool:
+        return range_of(egraph, env[name]).issubset(box)
+
+    return check
+
+
+def range_le(small: str, large: str) -> Callable[[EGraph, dict], bool]:
+    """Condition: ``small``'s range lies entirely at or below ``large``'s."""
+
+    def check(egraph: EGraph, env: dict) -> bool:
+        hi = range_of(egraph, env[small]).max()
+        lo = range_of(egraph, env[large]).min()
+        return hi is not None and lo is not None and hi <= lo
+
+    return check

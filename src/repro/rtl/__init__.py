@@ -1,0 +1,35 @@
+"""RTL frontend and backend (the Yosys + sv2v substitute).
+
+* :mod:`~repro.rtl.lexer` / :mod:`~repro.rtl.parser` — a combinational
+  (System)Verilog subset: ANSI/non-ANSI ports, ``assign``, wire declarations
+  with initializers, ``always_comb``/``always @*`` blocks holding
+  ``case``/``casez`` statements, the full expression grammar the paper's
+  benchmarks need (ternaries, shifts, comparisons, concatenation,
+  replication, bit/part selects, sized literals).
+* :mod:`~repro.rtl.elaborate` — AST to IR with IEEE-1364-lite width
+  semantics: expressions evaluate exactly over the integers and explicit
+  ``TRUNC`` nodes are inserted where Verilog would wrap (assignment
+  boundaries and self-determined contexts); the optimizer's range analysis
+  then removes every provably redundant wrap, which is precisely the
+  paper's bitwidth-reduction story.  ``casez`` priority ladders that
+  implement a leading-zero count are *recognized* and mapped to the IR's
+  first-class ``LZC`` operator (Section V).
+* :mod:`~repro.rtl.emit` — IR back to synthesizable Verilog with one wire
+  per shared subterm.
+
+Limitations (documented, verified irrelevant to the paper's benchmarks):
+no ``signed`` declarations, no sequential logic, no hierarchies.
+"""
+
+from repro.rtl.parser import ParseError, parse_module
+from repro.rtl.elaborate import ElaborationError, elaborate, module_to_ir
+from repro.rtl.emit import emit_verilog
+
+__all__ = [
+    "parse_module",
+    "ParseError",
+    "elaborate",
+    "module_to_ir",
+    "ElaborationError",
+    "emit_verilog",
+]

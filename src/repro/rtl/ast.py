@@ -1,0 +1,111 @@
+"""AST for the Verilog subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class VNum:
+    """Numeric literal; ``width`` is None for unsized decimals."""
+
+    value: int
+    width: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class VId:
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class VUnary:
+    op: str  # '~' '-' '!' '&' '|' (reductions)
+    operand: "VExpr"
+
+
+@dataclass(frozen=True, slots=True)
+class VBinary:
+    op: str  # + - * & | ^ << >> < <= > >= == != && ||
+    left: "VExpr"
+    right: "VExpr"
+
+
+@dataclass(frozen=True, slots=True)
+class VTernary:
+    cond: "VExpr"
+    if_true: "VExpr"
+    if_false: "VExpr"
+
+
+@dataclass(frozen=True, slots=True)
+class VConcat:
+    parts: tuple["VExpr", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class VRepl:
+    times: int
+    operand: "VExpr"
+
+
+@dataclass(frozen=True, slots=True)
+class VIndex:
+    base: "VExpr"
+    index: "VExpr"
+
+
+@dataclass(frozen=True, slots=True)
+class VRange:
+    base: "VExpr"
+    hi: int
+    lo: int
+
+
+VExpr = "VNum | VId | VUnary | VBinary | VTernary | VConcat | VRepl | VIndex | VRange"
+
+
+@dataclass(frozen=True, slots=True)
+class CaseLabel:
+    """One casez label: value/mask pair (mask bit 0 = don't care)."""
+
+    value: int
+    mask: int
+    width: int
+
+
+@dataclass
+class CaseStmt:
+    """``case``/``casez`` assigning a single target variable."""
+
+    subject: "VExpr"
+    target: str
+    arms: list[tuple[CaseLabel, "VExpr"]]
+    default: "VExpr | None"
+    is_casez: bool
+
+
+@dataclass
+class Net:
+    """A declared input/output/wire."""
+
+    name: str
+    width: int
+    direction: str  # 'input' | 'output' | 'wire'
+
+
+@dataclass
+class Module:
+    name: str
+    nets: dict[str, Net] = field(default_factory=dict)
+    #: assignments in source order: (target name, expression)
+    assigns: list[tuple[str, "VExpr"]] = field(default_factory=list)
+    cases: list[CaseStmt] = field(default_factory=list)
+
+    @property
+    def inputs(self) -> list[Net]:
+        return [n for n in self.nets.values() if n.direction == "input"]
+
+    @property
+    def outputs(self) -> list[Net]:
+        return [n for n in self.nets.values() if n.direction == "output"]

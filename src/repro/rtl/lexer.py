@@ -1,0 +1,83 @@
+"""Tokenizer for the Verilog subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "module", "endmodule", "input", "output", "wire", "logic", "reg",
+    "assign", "always", "always_comb", "begin", "end", "case", "casez",
+    "endcase", "default", "if", "else", "function", "endfunction",
+    "signed", "parameter", "localparam",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<sized>\d+\s*'\s*[bodhBODH]\s*[0-9a-fA-FxXzZ?_]+)
+  | (?P<number>\d[\d_]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_$]*)
+  | (?P<op><<<|>>>|<<|>>|<=|>=|==|!=|&&|\|\||[-+*/%&|^~!<>=?:(){}\[\],;@#.'])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # 'kw' | 'ident' | 'number' | 'sized' | 'op' | 'eof'
+    text: str
+    line: int
+
+
+class LexError(ValueError):
+    """Input contains a character the lexer does not understand."""
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize Verilog source; comments and whitespace are dropped."""
+    tokens: list[Token] = []
+    line = 1
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            snippet = source[position : position + 20]
+            raise LexError(f"line {line}: cannot tokenize {snippet!r}")
+        text = match.group(0)
+        kind = match.lastgroup
+        if kind == "ident":
+            tokens.append(
+                Token("kw" if text in KEYWORDS else "ident", text, line)
+            )
+        elif kind == "number":
+            tokens.append(Token("number", text, line))
+        elif kind == "sized":
+            tokens.append(Token("sized", re.sub(r"\s+", "", text), line))
+        elif kind == "op":
+            tokens.append(Token("op", text, line))
+        line += text.count("\n")
+        position = match.end()
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def parse_sized_literal(text: str) -> tuple[int, int]:
+    """Parse ``8'hFF`` style literals; returns (width, value).
+
+    ``x``/``z`` digits are rejected (combinational datapaths only); ``?`` is
+    accepted only by the casez label parser, not here.
+    """
+    width_text, rest = text.split("'", 1)
+    base_char = rest[0].lower()
+    digits = rest[1:].replace("_", "")
+    base = {"b": 2, "o": 8, "d": 10, "h": 16}[base_char]
+    if any(c in "xXzZ?" for c in digits):
+        raise LexError(f"unsupported x/z/? digits in literal {text!r}")
+    width = int(width_text)
+    value = int(digits, base)
+    if value >= (1 << width):
+        value %= 1 << width
+    return width, value

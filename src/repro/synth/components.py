@@ -1,0 +1,242 @@
+"""Gate-level component generators (the "cell library" of the substitute
+synthesis flow).
+
+Each generator emits 2-input gates into a :class:`~repro.synth.netlist.Netlist`
+and returns LSB-first net lists.  Adders come in three architectures —
+``ripple`` (small/slow), ``carry-select`` (middle), ``sklansky`` (fast
+parallel-prefix) — which the delay-target sweep trades against each other,
+mirroring what a commercial synthesis tool does when it restructures
+arithmetic to meet timing.
+"""
+
+from __future__ import annotations
+
+from repro.synth.netlist import Netlist
+
+ADDER_ARCHS = ("ripple", "carry-select", "sklansky")
+
+
+# ------------------------------------------------------------------- adders
+def full_adder(nl: Netlist, a: int, b: int, cin: int) -> tuple[int, int]:
+    """One full adder; returns (sum, carry)."""
+    axb = nl.g_xor(a, b)
+    total = nl.g_xor(axb, cin)
+    carry = nl.g_or(nl.g_and(a, b), nl.g_and(axb, cin))
+    return total, carry
+
+
+def ripple_adder(
+    nl: Netlist, a: list[int], b: list[int], cin: int
+) -> tuple[list[int], int]:
+    """Ripple-carry adder; operands must share a width."""
+    if len(a) != len(b):
+        raise ValueError("ripple_adder: width mismatch")
+    out, carry = [], cin
+    for bit_a, bit_b in zip(a, b):
+        total, carry = full_adder(nl, bit_a, bit_b, carry)
+        out.append(total)
+    return out, carry
+
+
+def sklansky_adder(
+    nl: Netlist, a: list[int], b: list[int], cin: int
+) -> tuple[list[int], int]:
+    """Sklansky parallel-prefix adder (log-depth carries)."""
+    if len(a) != len(b):
+        raise ValueError("sklansky_adder: width mismatch")
+    width = len(a)
+    if width == 0:
+        return [], cin
+    propagate = [nl.g_xor(x, y) for x, y in zip(a, b)]
+    generate = [nl.g_and(x, y) for x, y in zip(a, b)]
+
+    # Prefix combine: (g, p) pairs; span doubles each level.
+    g = list(generate)
+    p = list(propagate)
+    span = 1
+    while span < width:
+        new_g, new_p = list(g), list(p)
+        for i in range(width):
+            j = (i // span) * span - 1  # Sklansky: fan from block boundary
+            if (i // span) % 2 == 1 and j >= 0:
+                new_g[i] = nl.g_or(g[i], nl.g_and(p[i], g[j]))
+                new_p[i] = nl.g_and(p[i], p[j])
+        g, p = new_g, new_p
+        span <<= 1
+
+    # carry into bit i = G[i-1] | P[i-1] & cin
+    carries = [cin]
+    for i in range(width):
+        carries.append(nl.g_or(g[i], nl.g_and(p[i], cin)))
+    out = [nl.g_xor(propagate[i], carries[i]) for i in range(width)]
+    return out, carries[width]
+
+
+def carry_select_adder(
+    nl: Netlist, a: list[int], b: list[int], cin: int, block: int = 4
+) -> tuple[list[int], int]:
+    """Carry-select adder with fixed block size."""
+    if len(a) != len(b):
+        raise ValueError("carry_select_adder: width mismatch")
+    out: list[int] = []
+    carry = cin
+    for start in range(0, len(a), block):
+        chunk_a = a[start : start + block]
+        chunk_b = b[start : start + block]
+        if start == 0:
+            sums, carry = ripple_adder(nl, chunk_a, chunk_b, carry)
+            out.extend(sums)
+            continue
+        sum0, carry0 = ripple_adder(nl, chunk_a, chunk_b, nl.zero)
+        sum1, carry1 = ripple_adder(nl, chunk_a, chunk_b, nl.one)
+        out.extend(nl.g_mux(carry, s1, s0) for s0, s1 in zip(sum0, sum1))
+        carry = nl.g_mux(carry, carry1, carry0)
+    return out, carry
+
+
+def adder(
+    nl: Netlist, a: list[int], b: list[int], cin: int, arch: str = "sklansky"
+) -> tuple[list[int], int]:
+    """Architecture-dispatching adder."""
+    if arch == "ripple":
+        return ripple_adder(nl, a, b, cin)
+    if arch == "carry-select":
+        return carry_select_adder(nl, a, b, cin)
+    if arch == "sklansky":
+        return sklansky_adder(nl, a, b, cin)
+    raise ValueError(f"unknown adder architecture {arch!r}")
+
+
+def subtractor(
+    nl: Netlist, a: list[int], b: list[int], arch: str = "sklansky"
+) -> tuple[list[int], int]:
+    """``a - b`` two's complement; returns (difference, carry-out).
+
+    Carry-out set means no borrow (``a >= b`` for unsigned operands).
+    """
+    inverted = [nl.g_not(bit) for bit in b]
+    return adder(nl, a, inverted, nl.one, arch)
+
+
+# -------------------------------------------------------------- comparators
+def less_than(
+    nl: Netlist, a: list[int], b: list[int], signed: bool, arch: str = "sklansky"
+) -> int:
+    """1-bit ``a < b``; operands must share a width."""
+    if signed and a:
+        # Bias trick: flipping the sign bit maps two's complement order
+        # onto unsigned order.
+        a = a[:-1] + [nl.g_not(a[-1])]
+        b = b[:-1] + [nl.g_not(b[-1])]
+    _, carry = subtractor(nl, a, b, arch)
+    return nl.g_not(carry)  # borrow means a < b
+
+
+def equal(nl: Netlist, a: list[int], b: list[int]) -> int:
+    """1-bit ``a == b``; operands must share a width."""
+    diffs = [nl.g_xor(x, y) for x, y in zip(a, b)]
+    if not diffs:
+        return nl.one
+    return nl.g_not(nl.reduce("OR", diffs))
+
+
+def is_zero(nl: Netlist, a: list[int]) -> int:
+    """1-bit ``a == 0``."""
+    if not a:
+        return nl.one
+    return nl.g_not(nl.reduce("OR", a))
+
+
+# -------------------------------------------------------------------- muxes
+def mux_word(nl: Netlist, sel: int, when1: list[int], when0: list[int]) -> list[int]:
+    """Word-wide 2:1 mux; operands must share a width."""
+    if len(when1) != len(when0):
+        raise ValueError("mux_word: width mismatch")
+    return [nl.g_mux(sel, x, y) for x, y in zip(when1, when0)]
+
+
+# ------------------------------------------------------------------ shifters
+def barrel_shifter(
+    nl: Netlist,
+    value: list[int],
+    amount: list[int],
+    left: bool,
+    fill: int,
+) -> list[int]:
+    """Logarithmic barrel shifter (``fill`` feeds vacated positions)."""
+    bits = list(value)
+    width = len(bits)
+    for level, select in enumerate(amount):
+        step = 1 << level
+        if step >= width and not left:
+            # Every remaining stage shifts everything out.
+            bits = [nl.g_mux(select, fill, bit) for bit in bits]
+            continue
+        shifted = []
+        for i in range(width):
+            source = i - step if left else i + step
+            donor = bits[source] if 0 <= source < width else fill
+            shifted.append(nl.g_mux(select, donor, bits[i]))
+        bits = shifted
+    return bits
+
+
+# ---------------------------------------------------------------------- LZC
+def lzc_tree(nl: Netlist, value: list[int], out_width: int) -> list[int]:
+    """Leading-zero counter over ``value`` (LSB-first); classic CLZ tree.
+
+    The operand is padded at the LSB side with constant ones up to a power
+    of two — padding ones never adds leading zeros and makes the all-zero
+    case count exactly ``len(value)``.
+    """
+    width = len(value)
+    padded_width = 1 << max((width - 1).bit_length(), 0) if width > 1 else 1
+    padded = [nl.one] * (padded_width - width) + list(value)
+
+    def rec(msb_first: list[int]) -> tuple[list[int], int]:
+        """Returns (count bits LSB-first, all-zero net) for a 2^k slice."""
+        if len(msb_first) == 1:
+            return [], nl.g_not(msb_first[0])
+        half = len(msb_first) // 2
+        count_hi, zero_hi = rec(msb_first[:half])
+        count_lo, zero_lo = rec(msb_first[half:])
+        zero = nl.g_and(zero_hi, zero_lo)
+        merged = [nl.g_mux(zero_hi, lo, hi) for lo, hi in zip(count_lo, count_hi)]
+        return merged + [zero_hi], zero
+
+    msb_first = list(reversed(padded))
+    count, zero = rec(msb_first)
+    # All-zero input: the tree's count bits are residue, not 0 — force the
+    # result to exactly padded_width (== 1 << k) by masking and setting the
+    # top bit.  (Only reachable when width is a power of two: otherwise the
+    # LSB padding ones keep `zero` false.)
+    not_zero = nl.g_not(zero)
+    count = [nl.g_and(not_zero, bit) for bit in count] + [zero]
+    # Semantically count <= width, so bits above bit_length(width) are 0.
+    count = count[:out_width] + [nl.zero] * max(0, out_width - len(count))
+    return count[:out_width]
+
+
+# --------------------------------------------------------------- multiplier
+def array_multiplier(
+    nl: Netlist, a: list[int], b: list[int], out_width: int
+) -> list[int]:
+    """Shift-and-add array multiplier, truncated to ``out_width`` bits."""
+    accum: list[int] = [nl.zero] * out_width
+    for j, b_bit in enumerate(b):
+        if j >= out_width:
+            break
+        partial = [nl.zero] * out_width
+        for i, a_bit in enumerate(a):
+            if i + j < out_width:
+                partial[i + j] = nl.g_and(a_bit, b_bit)
+        accum, _ = ripple_adder(nl, accum, partial, nl.zero)
+    return accum
+
+
+def negate(nl: Netlist, a: list[int], arch: str = "ripple") -> list[int]:
+    """Two's complement negation at the operand's width."""
+    inverted = [nl.g_not(bit) for bit in a]
+    zeros = [nl.zero] * len(a)
+    out, _ = adder(nl, inverted, zeros, nl.one, arch)
+    return out

@@ -1,0 +1,107 @@
+"""The extraction objective: delay-prioritized with area tie-break.
+
+The paper: "we target maximal performance and extract the design with the
+shortest critical path delay.  If multiple designs achieve identical delay,
+we extract the smallest area circuit amongst them. [...] using egg's
+standard extraction algorithm combined with a delay/area weighted sum
+objective function."
+
+:class:`DelayArea` carries both metrics; ordering is by a pluggable key —
+lexicographic ``(delay, area)`` by default, or a weighted sum for sweeping
+the delay/area trade-off (used to populate Figure 3's optimized curve).
+
+Operator widths come from the interval analysis
+(:func:`repro.analysis.width_of`): a class whose refined range needs fewer
+bits prices as the narrower operator — this is how bitwidth reduction
+(Section IV-A) reaches the objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis import range_of, width_of
+from repro.egraph.egraph import EGraph
+from repro.egraph.enode import ENode
+from repro.egraph.extract import CostFunction
+from repro.ir import ops
+from repro.synth.models import area_model, delay_model
+
+
+@dataclass(frozen=True, slots=True)
+class DelayArea:
+    """A (delay, area) cost with a precomputed comparison key."""
+
+    delay: float
+    area: float
+    key: tuple
+
+    def __lt__(self, other: "DelayArea") -> bool:
+        return self.key < other.key
+
+
+def lexicographic_key(delay: float, area: float) -> tuple:
+    """Shortest delay first, then smallest area."""
+    return (delay, area)
+
+
+def default_key(delay: float, area: float) -> tuple:
+    """The paper's delay/area weighted-sum objective.
+
+    Delay dominates (performance-prioritized extraction) but area carries
+    enough weight that the extractor does not duplicate large operators for
+    marginal delay wins; the tie-break remains lexicographic.
+    """
+    return (delay + 0.005 * area, delay, area)
+
+
+def weighted_key(delay_weight: float, area_weight: float) -> Callable[[float, float], tuple]:
+    """Weighted-sum objective for trade-off sweeps."""
+
+    def key(delay: float, area: float) -> tuple:
+        return (delay_weight * delay + area_weight * area,)
+
+    return key
+
+
+class DelayAreaCost(CostFunction):
+    """Section IV-D's theoretical model as an extraction cost function."""
+
+    def __init__(self, key: Callable[[float, float], tuple] | None = None) -> None:
+        self.key = key if key is not None else lexicographic_key
+
+    def enode_cost(
+        self, egraph: EGraph, class_id: int, enode: ENode, child_costs: list
+    ) -> DelayArea:
+        own_delay, own_area = self._model(egraph, class_id, enode)
+        delay = own_delay + max((c.delay for c in child_costs), default=0.0)
+        area = own_area + sum(c.area for c in child_costs)
+        return DelayArea(delay, area, self.key(delay, area))
+
+    def _model(self, egraph: EGraph, class_id: int, enode: ENode) -> tuple[float, float]:
+        op = enode.op
+        width = width_of(egraph, class_id)
+        operand_widths = tuple(width_of(egraph, c) for c in enode.children)
+
+        shift_levels: int | None = None
+        const_operand = False
+        if op in (ops.SHL, ops.SHR):
+            amount = enode.children[1]
+            if egraph.class_const(amount) is not None:
+                shift_levels = None  # constant shift: wiring only
+            else:
+                top = range_of(egraph, amount).max()
+                shift_levels = max(top, 1).bit_length() if top is not None else 6
+        elif op in (ops.LT, ops.LE, ops.GT, ops.GE, ops.EQ, ops.NE, ops.ADD, ops.SUB):
+            const_operand = any(
+                egraph.class_const(c) is not None for c in enode.children
+            )
+
+        kwargs = {
+            "width": width,
+            "operand_widths": operand_widths,
+            "shift_levels": shift_levels,
+            "const_operand": const_operand,
+        }
+        return delay_model(op, **kwargs), area_model(op, **kwargs)

@@ -1,0 +1,324 @@
+"""Lower an extracted IR design to a gate-level netlist.
+
+Widths come from the tree range analysis: every node is realized at the
+minimum storage width of its value range (two's complement when the range
+goes negative), which is exactly how the paper's bitwidth reduction
+manifests in hardware.  Operands are *fitted* to operator widths — extension
+always, truncation only where modular arithmetic makes it sound.
+
+Adder-based operators (+, -, comparisons, min/max/abs/neg) are tagged so the
+delay-target sweep can re-synthesize individual instances with faster
+architectures (see :mod:`repro.synth.sweep`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.analysis import expr_ranges
+from repro.intervals import IntervalSet
+from repro.ir import ops
+from repro.ir.expr import Expr
+from repro.synth import components as comp
+from repro.synth.netlist import Netlist, Signal
+
+
+class LoweringError(Exception):
+    """The design cannot be realized (unbounded or dead range)."""
+
+
+@dataclass
+class LoweredDesign:
+    """A lowered design: netlist plus resynthesis metadata."""
+
+    netlist: Netlist
+    #: tag -> operator name, for every architecture-selectable instance.
+    adder_tags: dict[str, str] = field(default_factory=dict)
+    root_width: int = 0
+
+
+def lower_to_netlist(
+    expr: Expr,
+    input_ranges: Mapping[str, IntervalSet] | None = None,
+    arch_choices: Mapping[str, str] | None = None,
+    default_arch: str = "ripple",
+    output_name: str = "out",
+) -> LoweredDesign:
+    """Lower ``expr``; returns the netlist with one output ``output_name``."""
+    lowerer = _Lowerer(expr, dict(input_ranges or {}), dict(arch_choices or {}), default_arch)
+    signal = lowerer.lower(expr)
+    lowerer.netlist.set_output(output_name, signal)
+    return LoweredDesign(
+        netlist=lowerer.netlist,
+        adder_tags=lowerer.adder_tags,
+        root_width=signal.width,
+    )
+
+
+class _Lowerer:
+    def __init__(
+        self,
+        root: Expr,
+        input_ranges: dict[str, IntervalSet],
+        arch_choices: dict[str, str],
+        default_arch: str,
+    ) -> None:
+        self.netlist = Netlist()
+        self.ranges = expr_ranges(root, input_ranges)
+        self.arch_choices = arch_choices
+        self.default_arch = default_arch
+        self.adder_tags: dict[str, str] = {}
+        self._memo: dict[Expr, Signal] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------- plumbing
+    def _width(self, node: Expr) -> tuple[int, bool]:
+        iset = self.ranges[node]
+        if iset.is_empty:
+            # Provably-dead subterm (e.g. an ASSUME whose constraints are
+            # infeasible): realize it at one bit; it is never selected.
+            return 1, False
+        width = iset.storage_width()
+        if width is None:
+            raise LoweringError(f"unbounded subterm: {node!r}")
+        low = iset.min()
+        return max(width, 1), low is not None and low < 0
+
+    def _fit(self, signal: Signal, width: int, modular: bool = False) -> list[int]:
+        """Extend (always sound) or truncate (sound only for modular ops)."""
+        bits = list(signal.bits)
+        if len(bits) < width:
+            pad = signal.bits[-1] if signal.signed and bits else self.netlist.zero
+            bits += [pad] * (width - len(bits))
+        elif len(bits) > width:
+            if not modular:
+                raise LoweringError(
+                    f"cannot narrow non-modular operand {len(bits)} -> {width}"
+                )
+            bits = bits[:width]
+        return bits
+
+    def _harmonized(self, a: Signal, b: Signal) -> tuple[list[int], list[int]]:
+        """Common signed width for order-sensitive operators."""
+        width = max(a.width, b.width) + 1
+        return self._fit(a, width), self._fit(b, width)
+
+    def _arch_for(self, op_name: str) -> tuple[str, str]:
+        tag = f"{op_name.lower()}{self._counter}"
+        self._counter += 1
+        self.adder_tags[tag] = op_name
+        return tag, self.arch_choices.get(tag, self.default_arch)
+
+    def _condition_net(self, signal: Signal) -> int:
+        """Reduce a condition word to one 'nonzero' net."""
+        if signal.width == 1:
+            return signal.bits[0]
+        return self.netlist.reduce("OR", signal.bits)
+
+    # ------------------------------------------------------------- dispatch
+    def lower(self, node: Expr) -> Signal:
+        if node in self._memo:
+            return self._memo[node]
+        signal = self._lower_node(node)
+        self._memo[node] = signal
+        return signal
+
+    def _lower_node(self, node: Expr) -> Signal:
+        nl = self.netlist
+        op = node.op
+        width, signed = self._width(node)
+
+        if op is ops.VAR:
+            name, declared = node.attrs
+            if name in nl.inputs:
+                bits = nl.inputs[name]
+            else:
+                bits = nl.add_input(name, declared)
+            return Signal(list(bits), signed=False)
+
+        if op is ops.CONST:
+            value = node.value % (1 << width)
+            bits = [nl.one if (value >> i) & 1 else nl.zero for i in range(width)]
+            return Signal(bits, signed=signed)
+
+        if op is ops.ASSUME:
+            return self.lower(node.children[0])
+
+        kids = [self.lower(c) for c in node.children]
+
+        if op in (ops.ADD, ops.SUB):
+            tag, arch = self._arch_for(op.name)
+            a = self._fit(kids[0], width, modular=True)
+            b = self._fit(kids[1], width, modular=True)
+            nl.push_tag(tag)
+            if op is ops.ADD:
+                out, _ = comp.adder(nl, a, b, nl.zero, arch)
+            else:
+                out, _ = comp.subtractor(nl, a, b, arch)
+            nl.pop_tag()
+            return Signal(out, signed)
+
+        if op is ops.NEG:
+            tag, arch = self._arch_for("NEG")
+            a = self._fit(kids[0], width, modular=True)
+            nl.push_tag(tag)
+            out = comp.negate(nl, a, arch)
+            nl.pop_tag()
+            return Signal(out, signed)
+
+        if op is ops.MUL:
+            a = self._fit(kids[0], width, modular=True)
+            b = self._fit(kids[1], width, modular=True)
+            nl.push_tag(f"mul{self._counter}")
+            self._counter += 1
+            out = comp.array_multiplier(nl, a, b, width)
+            nl.pop_tag()
+            return Signal(out, signed)
+
+        if op in (ops.SHL, ops.SHR):
+            return self._lower_shift(node, kids, width, signed)
+
+        if op in (ops.AND, ops.OR, ops.XOR):
+            a = self._fit(kids[0], width, modular=True)
+            b = self._fit(kids[1], width, modular=True)
+            kind = {"AND": "AND", "OR": "OR", "XOR": "XOR"}[op.name]
+            bits = [nl.add_gate(kind, x, y) for x, y in zip(a, b)]
+            return Signal(bits, signed=False)
+
+        if op is ops.NOT:
+            (not_width,) = node.attrs
+            a = self._fit(kids[0], not_width, modular=True)
+            bits = [nl.g_not(x) for x in a]
+            return Signal(self._fit(Signal(bits), width, modular=True), signed=False)
+
+        if op is ops.LNOT:
+            return Signal([comp.is_zero(nl, kids[0].bits)], signed=False)
+
+        if op in (ops.LT, ops.LE, ops.GT, ops.GE):
+            tag, arch = self._arch_for(op.name)
+            a, b = self._harmonized(kids[0], kids[1])
+            nl.push_tag(tag)
+            if op is ops.LT:
+                net = comp.less_than(nl, a, b, True, arch)
+            elif op is ops.GT:
+                net = comp.less_than(nl, b, a, True, arch)
+            elif op is ops.LE:
+                net = nl.g_not(comp.less_than(nl, b, a, True, arch))
+            else:
+                net = nl.g_not(comp.less_than(nl, a, b, True, arch))
+            nl.pop_tag()
+            return Signal([net], signed=False)
+
+        if op in (ops.EQ, ops.NE):
+            a, b = self._harmonized(kids[0], kids[1])
+            net = comp.equal(nl, a, b)
+            if op is ops.NE:
+                net = nl.g_not(net)
+            return Signal([net], signed=False)
+
+        if op is ops.MUX:
+            sel = self._condition_net(kids[0])
+            when1 = self._fit(kids[1], width, modular=True)
+            when0 = self._fit(kids[2], width, modular=True)
+            return Signal(comp.mux_word(nl, sel, when1, when0), signed)
+
+        if op is ops.LZC:
+            (lzc_width,) = node.attrs
+            operand = self._fit_unsigned(kids[0], lzc_width)
+            nl.push_tag(f"lzc{self._counter}")
+            self._counter += 1
+            bits = comp.lzc_tree(nl, operand, width)
+            nl.pop_tag()
+            return Signal(bits, signed=False)
+
+        if op is ops.TRUNC:
+            (trunc_width,) = node.attrs
+            bits = self._fit(kids[0], trunc_width, modular=True)
+            return Signal(self._fit(Signal(bits), width, modular=True), signed=False)
+
+        if op is ops.SLICE:
+            hi, lo = node.attrs
+            bits = self._fit_unsigned(kids[0], hi + 1)
+            return Signal(bits[lo : hi + 1], signed=False)
+
+        if op is ops.CONCAT:
+            (rhs_width,) = node.attrs
+            lsbs = self._fit_unsigned(kids[1], rhs_width)
+            msbs = list(kids[0].bits)
+            return Signal(
+                self._fit(Signal(lsbs + msbs), width, modular=True), signed=False
+            )
+
+        if op is ops.ABS:
+            extended = self._fit(kids[0], kids[0].width + 1)
+            tag, arch = self._arch_for("ABS")
+            nl.push_tag(tag)
+            negated = comp.negate(nl, extended, arch)
+            sign = extended[-1]
+            bits = comp.mux_word(nl, sign, negated, extended)
+            nl.pop_tag()
+            return Signal(self._fit(Signal(bits, True), width, modular=True), signed)
+
+        if op in (ops.MIN, ops.MAX):
+            tag, arch = self._arch_for(op.name)
+            a, b = self._harmonized(kids[0], kids[1])
+            nl.push_tag(tag)
+            a_less = comp.less_than(nl, a, b, True, arch)
+            if op is ops.MIN:
+                bits = comp.mux_word(nl, a_less, a, b)
+            else:
+                bits = comp.mux_word(nl, a_less, b, a)
+            nl.pop_tag()
+            return Signal(self._fit(Signal(bits, True), width, modular=True), signed)
+
+        raise LoweringError(f"cannot lower operator {op}")
+
+    def _fit_unsigned(self, signal: Signal, width: int) -> list[int]:
+        """Fit a provably in-range unsigned operand to an exact width."""
+        bits = list(signal.bits)
+        if len(bits) < width:
+            bits += [self.netlist.zero] * (width - len(bits))
+        return bits[:width]
+
+    def _lower_shift(self, node: Expr, kids: list[Signal], width: int, signed: bool) -> Signal:
+        nl = self.netlist
+        left = node.op is ops.SHL
+        amount = kids[1]
+        value = kids[0]
+
+        amount_range = self.ranges[node.children[1]]
+        max_shift = amount_range.max()
+        const_shift = amount_range.as_point()
+
+        if const_shift is not None:
+            # Constant shift: pure wiring.
+            if left:
+                bits = self._fit(value, width, modular=True)
+                bits = [nl.zero] * const_shift + bits
+                return Signal(bits[:width], signed)
+            operand_width = max(value.width, width + const_shift)
+            bits = self._fit(value, operand_width)
+            fill = bits[-1] if value.signed else nl.zero
+            shifted = bits[const_shift:] + [fill] * const_shift
+            return Signal(self._fit(Signal(shifted, value.signed), width, modular=True), signed)
+
+        # Variable shift: barrel shifter over the meaningful amount bits.
+        useful_bits = max(max_shift, 1).bit_length() if max_shift is not None else amount.width
+        amount_bits = self._fit_unsigned(amount, min(amount.width, useful_bits) or 1)
+        nl.push_tag(f"shift{self._counter}")
+        self._counter += 1
+        if left:
+            bits = self._fit(value, width, modular=True)
+            out = comp.barrel_shifter(nl, bits, amount_bits, True, nl.zero)
+            result = Signal(out, signed)
+        else:
+            operand_width = max(value.width, width)
+            bits = self._fit(value, operand_width)
+            fill = bits[-1] if value.signed else nl.zero
+            out = comp.barrel_shifter(nl, bits, amount_bits, False, fill)
+            result = Signal(
+                self._fit(Signal(out, value.signed), width, modular=True), signed
+            )
+        nl.pop_tag()
+        return result

@@ -1,0 +1,150 @@
+"""Theoretical per-operator delay and area models (Section IV-D).
+
+"For each operator we compute an estimate based on a fixed component
+architecture for the total number of two-input gates on the operator's
+critical path as a function of operator precision."
+
+Units: delay is in two-input-gate levels, area in two-input-gate
+equivalents.  The fixed architectures:
+
+===========  =======================================  =====================
+operator     architecture                             delay / area
+===========  =======================================  =====================
+add/sub      Sklansky parallel-prefix                 2·lg(w)+3 / 5w+1.5w·lg(w)
+compare      prefix borrow chain                      2·lg(w)+2 / 4w
+eq/ne        XOR + AND-reduction tree                 lg(w)+2  / 4w
+mux          per-bit 2:1                              2 / 3w
+shift-var    barrel (one mux level per shift bit)     2·levels / 3w·levels
+shift-const  wiring                                   0 / 0
+lzc          priority-encode tree                     2·lg(w)+1 / 4w
+mul          array + final adder                      4·lg(w)+6 / 6w²
+bitwise      per-bit gate                             1 (2 for xor) / w
+lnot         OR-reduction + invert                    lg(w)+1 / w
+neg          invert + increment (half-sum chain)      2·lg(w)+2 / 3w
+===========  =======================================  =====================
+
+``lg`` is ``ceil(log2(max(w, 2)))``.  Constant operands make comparisons and
+add/sub slightly cheaper, and shifts by constants free, which the model
+recognizes through the ``const_operand`` hints.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir import ops
+from repro.ir.ops import Op
+
+#: Operators that cost nothing: pure wiring / renaming.
+FREE_OPS = frozenset({ops.VAR, ops.CONST, ops.TRUNC, ops.SLICE, ops.CONCAT})
+
+
+def lg(width: int) -> int:
+    """``ceil(log2(width))`` clamped below at 1."""
+    return max(1, math.ceil(math.log2(max(width, 2))))
+
+
+def delay_model(
+    op: Op,
+    width: int,
+    operand_widths: tuple[int, ...] = (),
+    shift_levels: int | None = None,
+    const_operand: bool = False,
+) -> float:
+    """Critical-path gate levels through one operator instance.
+
+    ``width`` is the operator's result width; ``operand_widths`` the
+    children's widths; ``shift_levels`` the number of meaningful shift-amount
+    bits for variable shifts (None means the shift amount is constant).
+    """
+    w = max([width, *operand_widths, 1])
+    if op in FREE_OPS or op is ops.ASSUME:
+        return 0.0
+    if op in (ops.ADD, ops.SUB):
+        if const_operand:
+            return lg(w) + 2.0  # incrementer / decrementer
+        return 2.0 * lg(w) + 3.0
+    if op is ops.NEG:
+        return 2.0 * lg(w) + 2.0
+    if op in (ops.LT, ops.LE, ops.GT, ops.GE):
+        cmp_w = max([*operand_widths, 1])
+        base = 2.0 * lg(cmp_w) + 2.0
+        return base - 1.0 if const_operand else base
+    if op in (ops.EQ, ops.NE):
+        cmp_w = max([*operand_widths, 1])
+        return lg(cmp_w) + 2.0
+    if op is ops.MUX:
+        return 2.0
+    if op in (ops.SHL, ops.SHR):
+        if shift_levels is None or shift_levels <= 0:
+            return 0.0
+        return 2.0 * shift_levels
+    if op is ops.LZC:
+        return 2.0 * lg(w) + 1.0
+    if op is ops.MUL:
+        # Shift-and-add array (matches the netlist generator): linear rows.
+        small = min([*operand_widths, w]) if operand_widths else w
+        return 2.0 * max(small, 1) + 2.0 * lg(w) + 2.0
+    if op in (ops.AND, ops.OR):
+        return 1.0
+    if op is ops.XOR:
+        return 2.0
+    if op is ops.NOT:
+        return 1.0
+    if op is ops.LNOT:
+        operand = max([*operand_widths, 1])
+        return lg(operand) + 1.0
+    if op in (ops.MIN, ops.MAX, ops.ABS):
+        return 2.0 * lg(w) + 4.0  # compare/negate then select
+    raise ValueError(f"no delay model for {op}")
+
+
+def area_model(
+    op: Op,
+    width: int,
+    operand_widths: tuple[int, ...] = (),
+    shift_levels: int | None = None,
+    const_operand: bool = False,
+) -> float:
+    """Two-input-gate count of one operator instance."""
+    w = max([width, *operand_widths, 1])
+    if op in FREE_OPS or op is ops.ASSUME:
+        return 0.0
+    if op in (ops.ADD, ops.SUB):
+        if const_operand:
+            return 2.5 * w  # incrementer / decrementer
+        return 5.0 * w + 1.5 * w * lg(w)
+    if op is ops.NEG:
+        return 3.0 * w
+    if op in (ops.LT, ops.LE, ops.GT, ops.GE):
+        cmp_w = max([*operand_widths, 1])
+        area = 4.0 * cmp_w
+        return area * 0.6 if const_operand else area
+    if op in (ops.EQ, ops.NE):
+        cmp_w = max([*operand_widths, 1])
+        area = 4.0 * cmp_w
+        return area * 0.5 if const_operand else area
+    if op is ops.MUX:
+        return 3.0 * w
+    if op in (ops.SHL, ops.SHR):
+        if shift_levels is None or shift_levels <= 0:
+            return 0.0
+        return 3.0 * w * shift_levels
+    if op is ops.LZC:
+        return 4.0 * w
+    if op is ops.MUL:
+        small = min([*operand_widths, w]) or w
+        return 6.0 * w * max(small, 1)
+    if op in (ops.AND, ops.OR):
+        return 1.0 * w
+    if op is ops.XOR:
+        return 2.0 * w
+    if op is ops.NOT:
+        return 1.0 * w
+    if op is ops.LNOT:
+        return 1.0 * max([*operand_widths, 1])
+    if op in (ops.MIN, ops.MAX):
+        return 4.0 * w + 3.0 * w
+    if op is ops.ABS:
+        return 3.0 * w + 3.0 * w
+    raise ValueError(f"no area model for {op}")

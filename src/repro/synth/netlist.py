@@ -1,0 +1,294 @@
+"""Two-input-gate netlists with structural hashing, simulation and STA.
+
+This is the target of :mod:`repro.synth.lower` and the measurement substrate
+replacing the paper's commercial synthesis runs.  Gates are 2-input
+(AND/OR/XOR/NAND/NOR/XNOR) plus NOT; wider structures are built from them by
+the component generators.  ``add_gate`` constant-folds and structurally
+hashes, so trivially redundant logic never enters the netlist.
+
+Timing: unit delay per 2-input gate, 0.4 per inverter (inverters largely
+fold into adjacent cells in real mapping).  Area: 1.0 per 2-input gate,
+0.5 per inverter.  Absolute numbers are technology-free by design — the
+reproduction targets *relative* delay/area (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+NOT_DELAY = 0.4
+NOT_AREA = 0.5
+GATE_DELAY = 1.0
+GATE_AREA = 1.0
+
+_EVAL = {
+    "AND": lambda a, b: a & b,
+    "OR": lambda a, b: a | b,
+    "XOR": lambda a, b: a ^ b,
+    "NAND": lambda a, b: 1 - (a & b),
+    "NOR": lambda a, b: 1 - (a | b),
+    "XNOR": lambda a, b: 1 - (a ^ b),
+}
+
+_SYMMETRIC = frozenset(_EVAL)
+
+
+@dataclass(frozen=True, slots=True)
+class Gate:
+    """One logic gate: ``kind`` in AND/OR/XOR/NAND/NOR/XNOR/NOT."""
+
+    kind: str
+    inputs: tuple[int, ...]
+    output: int
+    tag: str = ""
+
+
+@dataclass
+class Signal:
+    """A lowered IR value: LSB-first net list + signedness."""
+
+    bits: list[int]
+    signed: bool = False
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+
+class Netlist:
+    """A combinational gate network."""
+
+    def __init__(self) -> None:
+        self.gates: list[Gate] = []
+        self.inputs: dict[str, list[int]] = {}
+        self.outputs: dict[str, Signal] = {}
+        self._net_count = 2  # nets 0 and 1 are constant zero / one
+        self._driver: dict[int, int] = {}  # net -> gate index
+        self._hash: dict[tuple, int] = {}
+        self._tag_stack: list[str] = []
+
+    # ------------------------------------------------------------- structure
+    @property
+    def zero(self) -> int:
+        """The constant-0 net."""
+        return 0
+
+    @property
+    def one(self) -> int:
+        """The constant-1 net."""
+        return 1
+
+    def new_net(self) -> int:
+        net = self._net_count
+        self._net_count += 1
+        return net
+
+    def add_input(self, name: str, width: int) -> list[int]:
+        """Declare a primary input; returns its nets (LSB first)."""
+        if name in self.inputs:
+            raise ValueError(f"duplicate input {name}")
+        nets = [self.new_net() for _ in range(width)]
+        self.inputs[name] = nets
+        return nets
+
+    def set_output(self, name: str, signal: Signal) -> None:
+        """Declare a primary output."""
+        self.outputs[name] = signal
+
+    def push_tag(self, tag: str) -> None:
+        """Enter a component instance (gates get tagged for resynthesis)."""
+        self._tag_stack.append(tag)
+
+    def pop_tag(self) -> None:
+        self._tag_stack.pop()
+
+    # ---------------------------------------------------------------- gates
+    def add_gate(self, kind: str, a: int, b: int | None = None) -> int:
+        """Add a gate with constant folding and structural hashing."""
+        if kind == "NOT":
+            if a == 0:
+                return 1
+            if a == 1:
+                return 0
+            key = ("NOT", a)
+        else:
+            if kind in _SYMMETRIC and b is not None and b < a:
+                a, b = b, a
+            folded = self._fold(kind, a, b)
+            if folded is not None:
+                return folded
+            key = (kind, a, b)
+        cached = self._hash.get(key)
+        if cached is not None:
+            return cached
+        out = self.new_net()
+        inputs = (a,) if kind == "NOT" else (a, b)
+        tag = self._tag_stack[-1] if self._tag_stack else ""
+        self._driver[out] = len(self.gates)
+        self.gates.append(Gate(kind, inputs, out, tag))
+        self._hash[key] = out
+        return out
+
+    @staticmethod
+    def _fold(kind: str, a: int, b: int) -> int | None:
+        """Constant/identity folding for 2-input gates (nets 0/1 constant)."""
+        if kind == "AND":
+            if a == 0 or b == 0:
+                return 0
+            if a == 1:
+                return b
+            if b == 1:
+                return a
+            if a == b:
+                return a
+        elif kind == "OR":
+            if a == 1 or b == 1:
+                return 1
+            if a == 0:
+                return b
+            if b == 0:
+                return a
+            if a == b:
+                return a
+        elif kind == "XOR":
+            if a == b:
+                return 0
+            if a == 0:
+                return b
+            if b == 0:
+                return a
+        elif kind == "NAND":
+            if a == 0 or b == 0:
+                return 1
+        elif kind == "NOR":
+            if a == 1 or b == 1:
+                return 0
+        elif kind == "XNOR":
+            if a == b:
+                return 1
+        return None
+
+    # -------------------------------------------------------------- shortcuts
+    def g_not(self, a: int) -> int:
+        return self.add_gate("NOT", a)
+
+    def g_and(self, a: int, b: int) -> int:
+        return self.add_gate("AND", a, b)
+
+    def g_or(self, a: int, b: int) -> int:
+        return self.add_gate("OR", a, b)
+
+    def g_xor(self, a: int, b: int) -> int:
+        return self.add_gate("XOR", a, b)
+
+    def g_mux(self, sel: int, when1: int, when0: int) -> int:
+        """2:1 mux from three gates."""
+        if when1 == when0:
+            return when1
+        if sel == 1:
+            return when1
+        if sel == 0:
+            return when0
+        return self.g_or(self.g_and(sel, when1), self.g_and(self.g_not(sel), when0))
+
+    def reduce(self, kind: str, nets: Iterable[int]) -> int:
+        """Balanced reduction tree (e.g. OR-reduce for a zero test)."""
+        level = list(nets)
+        if not level:
+            raise ValueError("empty reduction")
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self.add_gate(kind, level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    # -------------------------------------------------------------- analysis
+    def area(self) -> float:
+        """Total gate area (2-input gate equivalents)."""
+        return sum(NOT_AREA if g.kind == "NOT" else GATE_AREA for g in self.gates)
+
+    def arrival_times(self) -> dict[int, float]:
+        """Arrival time of every net (gates are already topological)."""
+        arrival: dict[int, float] = {0: 0.0, 1: 0.0}
+        for nets in self.inputs.values():
+            for net in nets:
+                arrival[net] = 0.0
+        for gate in self.gates:
+            cost = NOT_DELAY if gate.kind == "NOT" else GATE_DELAY
+            arrival[gate.output] = cost + max(
+                (arrival.get(i, 0.0) for i in gate.inputs), default=0.0
+            )
+        return arrival
+
+    def critical_path_delay(self) -> float:
+        """Longest input-to-output path in gate levels."""
+        arrival = self.arrival_times()
+        worst = 0.0
+        for signal in self.outputs.values():
+            for net in signal.bits:
+                worst = max(worst, arrival.get(net, 0.0))
+        return worst
+
+    def critical_tags(self) -> list[str]:
+        """Component tags along the critical path, output to input."""
+        arrival = self.arrival_times()
+        worst_net, worst_time = None, -1.0
+        for signal in self.outputs.values():
+            for net in signal.bits:
+                if arrival.get(net, 0.0) > worst_time:
+                    worst_net, worst_time = net, arrival.get(net, 0.0)
+        tags: list[str] = []
+        net = worst_net
+        while net is not None and net in self._driver:
+            gate = self.gates[self._driver[net]]
+            if gate.tag and (not tags or tags[-1] != gate.tag):
+                tags.append(gate.tag)
+            net = max(
+                (i for i in gate.inputs),
+                key=lambda i: arrival.get(i, 0.0),
+                default=None,
+            )
+            if net is not None and net not in self._driver:
+                break
+        return tags
+
+    # ------------------------------------------------------------ simulation
+    def simulate(self, env: Mapping[str, int]) -> dict[str, int]:
+        """Evaluate the netlist; inputs and outputs are Python integers.
+
+        Output signals marked ``signed`` are reconstructed as negative
+        integers when their sign bit is set.
+        """
+        values: dict[int, int] = {0: 0, 1: 1}
+        for name, nets in self.inputs.items():
+            word = env[name]
+            if word < 0 or word >= (1 << len(nets)):
+                raise ValueError(f"input {name}={word} out of range")
+            for position, net in enumerate(nets):
+                values[net] = (word >> position) & 1
+        for gate in self.gates:
+            if gate.kind == "NOT":
+                values[gate.output] = 1 - values[gate.inputs[0]]
+            else:
+                a, b = (values[i] for i in gate.inputs)
+                values[gate.output] = _EVAL[gate.kind](a, b)
+        out: dict[str, int] = {}
+        for name, signal in self.outputs.items():
+            word = 0
+            for position, net in enumerate(signal.bits):
+                word |= values[net] << position
+            if signal.signed and signal.bits and values[signal.bits[-1]]:
+                word -= 1 << signal.width
+            out[name] = word
+        return out
+
+    def stats(self) -> str:
+        """One-line summary."""
+        return (
+            f"{len(self.gates)} gates, area {self.area():.1f}, "
+            f"delay {self.critical_path_delay():.1f}"
+        )

@@ -1,0 +1,28 @@
+"""Equivalence checking (the Synopsys DPV substitute).
+
+The paper proves each behavioural/optimized RTL pair equivalent with a
+commercial formal tool.  Here:
+
+* :mod:`~repro.verify.bdd` — a reduced ordered binary decision diagram
+  engine built from scratch (unique table, ITE with memoization, node
+  budget);
+* :mod:`~repro.verify.equiv` — the checking strategy: exhaustive simulation
+  when the input space is small, otherwise a BDD proof over a miter netlist
+  (``domain_constraint AND (a != b)`` must be the zero BDD), falling back to
+  randomized simulation with a documented trial count when the BDD budget
+  blows up.
+
+Input domain constraints (the paper's "input constraints", e.g. Figure 1's
+``x >= 128``) restrict the quantification domain of the proof.
+"""
+
+from repro.verify.bdd import BDD, BddLimitError
+from repro.verify.equiv import EquivalenceResult, check_equivalent, prove_equivalent
+
+__all__ = [
+    "BDD",
+    "BddLimitError",
+    "check_equivalent",
+    "prove_equivalent",
+    "EquivalenceResult",
+]

@@ -1,0 +1,155 @@
+"""A compact ROBDD engine (unique table + memoized ITE)."""
+
+from __future__ import annotations
+
+
+class BddLimitError(RuntimeError):
+    """The node budget was exhausted (caller should fall back)."""
+
+
+class BDD:
+    """Reduced ordered BDDs over variables ``0 .. num_vars-1``.
+
+    Node ids: 0 and 1 are the terminals; internal nodes are triples
+    ``(var, low, high)`` interned in a unique table.  ``low`` is the cofactor
+    for var=0.  Variable order is the natural integer order.
+    """
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, node_limit: int = 1_000_000) -> None:
+        self.node_limit = node_limit
+        # nodes[i] = (var, low, high); two placeholder rows for terminals.
+        self._nodes: list[tuple[int, int, int]] = [(-1, 0, 0), (-1, 1, 1)]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_memo: dict[tuple[int, int, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def var(self, index: int) -> int:
+        """The BDD of variable ``index``."""
+        return self._mk(index, self.FALSE, self.TRUE)
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        if len(self._nodes) >= self.node_limit:
+            raise BddLimitError(f"BDD exceeded {self.node_limit} nodes")
+        node_id = len(self._nodes)
+        self._nodes.append(key)
+        self._unique[key] = node_id
+        return node_id
+
+    def _top_var(self, *ids: int) -> int:
+        tops = [self._nodes[i][0] for i in ids if i > 1]
+        return min(tops)
+
+    def _cofactors(self, node: int, var: int) -> tuple[int, int]:
+        if node <= 1:
+            return node, node
+        node_var, low, high = self._nodes[node]
+        if node_var == var:
+            return low, high
+        return node, node
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f ? g : h``."""
+        if f == self.TRUE:
+            return g
+        if f == self.FALSE:
+            return h
+        if g == h:
+            return g
+        if g == self.TRUE and h == self.FALSE:
+            return f
+        key = (f, g, h)
+        found = self._ite_memo.get(key)
+        if found is not None:
+            return found
+        var = self._top_var(f, g, h)
+        f0, f1 = self._cofactors(f, var)
+        g0, g1 = self._cofactors(g, var)
+        h0, h1 = self._cofactors(h, var)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(var, low, high)
+        self._ite_memo[key] = result
+        return result
+
+    # ------------------------------------------------------------- operators
+    def apply_not(self, f: int) -> int:
+        return self.ite(f, self.FALSE, self.TRUE)
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.FALSE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, self.TRUE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_gate(self, kind: str, f: int, g: int | None = None) -> int:
+        """Apply a netlist gate kind."""
+        if kind == "NOT":
+            return self.apply_not(f)
+        if kind == "AND":
+            return self.apply_and(f, g)
+        if kind == "OR":
+            return self.apply_or(f, g)
+        if kind == "XOR":
+            return self.apply_xor(f, g)
+        if kind == "NAND":
+            return self.apply_not(self.apply_and(f, g))
+        if kind == "NOR":
+            return self.apply_not(self.apply_or(f, g))
+        if kind == "XNOR":
+            return self.apply_not(self.apply_xor(f, g))
+        raise ValueError(f"unknown gate kind {kind!r}")
+
+    # --------------------------------------------------------------- queries
+    def any_sat(self, f: int) -> dict[int, int] | None:
+        """One satisfying assignment (var -> 0/1), or None when f == FALSE."""
+        if f == self.FALSE:
+            return None
+        assignment: dict[int, int] = {}
+        node = f
+        while node > 1:
+            var, low, high = self._nodes[node]
+            if high != self.FALSE:
+                assignment[var] = 1
+                node = high
+            else:
+                assignment[var] = 0
+                node = low
+        return assignment
+
+    def count_sat(self, f: int, num_vars: int) -> int:
+        """Number of satisfying assignments over ``num_vars`` variables."""
+        memo: dict[int, int] = {}
+
+        def rec(node: int) -> tuple[int, int]:
+            """Returns (count below top var of node, top var index)."""
+            if node == self.FALSE:
+                return 0, num_vars
+            if node == self.TRUE:
+                return 1, num_vars
+            if node in memo:
+                return memo[node], self._nodes[node][0]
+            var, low, high = self._nodes[node]
+            count_low, var_low = rec(low)
+            count_high, var_high = rec(high)
+            total = count_low * (1 << (var_low - var - 1)) + count_high * (
+                1 << (var_high - var - 1)
+            )
+            memo[node] = total
+            return total, var
+
+        count, top = rec(f)
+        return count * (1 << top)

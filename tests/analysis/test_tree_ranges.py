@@ -1,0 +1,87 @@
+"""Tree-level range analysis, including the ASSUME refinement used when
+lowering extracted designs."""
+
+from repro.analysis import expr_ranges, expr_width
+from repro.intervals import IntervalSet
+from repro.ir import (
+    assume, eq, ge, gt, le, lnot, lt, lzc, mux, ne, trunc, var,
+)
+
+
+X = var("x", 8)
+Y = var("y", 8)
+
+
+def test_basic_transfer():
+    ranges = expr_ranges(X + Y)
+    assert ranges[X + Y] == IntervalSet.of(0, 510)
+
+
+def test_input_ranges_applied():
+    ranges = expr_ranges(X + 1, {"x": IntervalSet.of(10, 20)})
+    assert ranges[X + 1] == IntervalSet.of(11, 21)
+
+
+def test_mux_condition_pruning():
+    dead = mux(gt(X, 300), Y, X)
+    ranges = expr_ranges(dead)
+    assert ranges[dead] == IntervalSet.of(0, 255)
+
+
+def test_expr_width():
+    assert expr_width(X + Y) == 9
+    assert expr_width(X - Y) == 9   # signed
+    assert expr_width(trunc(X, 3)) == 3
+
+
+class TestAssumeRefinement:
+    def test_direct_constraints(self):
+        for cond, expected in [
+            (gt(X, 10), IntervalSet.of(11, 255)),
+            (ge(X, 10), IntervalSet.of(10, 255)),
+            (lt(X, 10), IntervalSet.of(0, 9)),
+            (le(X, 10), IntervalSet.of(0, 10)),
+            (eq(X, 10), IntervalSet.point(10)),
+            (ne(X, 0), IntervalSet.of(1, 255)),
+        ]:
+            wrapped = assume(X, cond)
+            assert expr_ranges(wrapped)[wrapped] == expected, cond
+
+    def test_reversed_operands(self):
+        wrapped = assume(X, gt(128, X))
+        assert expr_ranges(wrapped)[wrapped] == IntervalSet.of(0, 127)
+
+    def test_lnot_constraint(self):
+        wrapped = assume(X, lnot(X))
+        assert expr_ranges(wrapped)[wrapped].as_point() == 0
+
+    def test_lnot_of_comparison(self):
+        wrapped = assume(X, lnot(gt(X, 1)))
+        assert expr_ranges(wrapped)[wrapped] == IntervalSet.of(0, 1)
+
+    def test_self_constraint(self):
+        wrapped = assume(X, X)
+        assert expr_ranges(wrapped)[wrapped] == IntervalSet.of(1, 255)
+
+    def test_infeasible_constraint_is_empty(self):
+        wrapped = assume(X, gt(X, 300))
+        assert expr_ranges(wrapped)[wrapped].is_empty
+
+    def test_refinement_feeds_parents(self):
+        """The reason assumes are kept in extracted trees: downstream
+        operators see the refined width."""
+        guarded = assume(X, gt(X, 199)) + 1
+        ranges = expr_ranges(guarded)
+        assert ranges[guarded] == IntervalSet.of(201, 256)
+
+    def test_multiple_constraints(self):
+        wrapped = assume(X, gt(X, 10), lt(X, 20))
+        assert expr_ranges(wrapped)[wrapped] == IntervalSet.of(11, 19)
+
+    def test_figure1_tree_refinement(self):
+        """The ExpDiff-style refinement at tree level."""
+        ed = var("ed", 5)
+        near = assume(ed, lnot(gt(ed, 1)))
+        shifted = lzc(var("m", 11), 11) + near
+        ranges = expr_ranges(shifted)
+        assert ranges[near] == IntervalSet.of(0, 1)

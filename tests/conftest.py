@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.intervals import IntervalSet
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def random_iset(rng: random.Random, lo: int = -64, hi: int = 64) -> IntervalSet:
+    """A random small interval set (possibly with several pieces)."""
+    pieces = []
+    for _ in range(rng.randint(1, 3)):
+        a = rng.randint(lo, hi)
+        b = rng.randint(lo, hi)
+        if a > b:
+            a, b = b, a
+        pieces.append((a, b))
+    out = IntervalSet.empty()
+    for a, b in pieces:
+        out = out.union(IntervalSet.of(a, b))
+    return out
+
+
+def sample(iset: IntervalSet, rng: random.Random) -> int:
+    """A random member of a bounded, non-empty set."""
+    parts = iset.parts
+    piece = parts[rng.randrange(len(parts))]
+    return rng.randint(piece.lo, piece.hi)

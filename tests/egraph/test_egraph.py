@@ -1,0 +1,129 @@
+"""Core e-graph behaviour: hashcons, congruence, rebuild, analyses."""
+
+from repro.egraph import EGraph, ENode
+from repro.ir import ops, var
+from repro.ir.expr import const, mux, gt
+
+
+def leaf(g: EGraph, name: str, width: int = 4) -> int:
+    return g.add_node(ops.VAR, (name, width))
+
+
+class TestHashcons:
+    def test_identical_nodes_share_class(self):
+        g = EGraph()
+        a = leaf(g, "a")
+        n1 = g.add_node(ops.NEG, (), (a,))
+        n2 = g.add_node(ops.NEG, (), (a,))
+        assert n1 == n2
+
+    def test_attrs_distinguish(self):
+        g = EGraph()
+        a = leaf(g, "a")
+        t4 = g.add_node(ops.TRUNC, (4,), (a,))
+        t5 = g.add_node(ops.TRUNC, (5,), (a,))
+        assert t4 != t5
+
+    def test_add_expr_dedups(self):
+        g = EGraph()
+        x = var("x", 4)
+        r1 = g.add_expr(x + 1)
+        r2 = g.add_expr(x + 1)
+        assert r1 == r2
+        assert g.class_count == 3  # x, 1, x+1
+
+
+class TestUnionAndCongruence:
+    def test_congruence_closure(self):
+        g = EGraph()
+        a, b = leaf(g, "a"), leaf(g, "b")
+        fa = g.add_node(ops.NEG, (), (a,))
+        fb = g.add_node(ops.NEG, (), (b,))
+        g.union(a, b)
+        g.rebuild()
+        assert g.find(fa) == g.find(fb)
+
+    def test_congruence_cascades(self):
+        g = EGraph()
+        a, b = leaf(g, "a"), leaf(g, "b")
+        fa = g.add_node(ops.NEG, (), (a,))
+        fb = g.add_node(ops.NEG, (), (b,))
+        ffa = g.add_node(ops.ABS, (), (fa,))
+        ffb = g.add_node(ops.ABS, (), (fb,))
+        g.union(a, b)
+        g.rebuild()
+        assert g.find(ffa) == g.find(ffb)
+        g.check_invariants()
+
+    def test_union_is_idempotent(self):
+        g = EGraph()
+        a, b = leaf(g, "a"), leaf(g, "b")
+        g.union(a, b)
+        version = g.version
+        g.union(a, b)
+        assert g.version == version
+
+    def test_version_bumps_on_change(self):
+        g = EGraph()
+        a, b = leaf(g, "a"), leaf(g, "b")
+        before = g.version
+        g.union(a, b)
+        assert g.version == before + 1
+
+    def test_node_and_class_counts(self):
+        g = EGraph()
+        a, b = leaf(g, "a"), leaf(g, "b")
+        g.add_node(ops.NEG, (), (a,))
+        g.add_node(ops.NEG, (), (b,))
+        assert g.class_count == 4
+        g.union(a, b)
+        g.rebuild()
+        assert g.class_count == 2  # {a,b}, {neg}
+        assert g.node_count == 3   # two vars + one canonical neg
+
+    def test_lookup(self):
+        g = EGraph()
+        a = leaf(g, "a")
+        assert g.lookup(ENode(ops.NEG, (), (a,))) is None
+        n = g.add_node(ops.NEG, (), (a,))
+        assert g.lookup(ENode(ops.NEG, (), (a,))) == n
+
+
+class TestAssumeCanonicalization:
+    def test_constraint_tail_is_a_sorted_set(self):
+        g = EGraph()
+        x, c1, c2 = leaf(g, "x"), leaf(g, "c1"), leaf(g, "c2")
+        a1 = g.add_node(ops.ASSUME, (), (x, c1, c2))
+        a2 = g.add_node(ops.ASSUME, (), (x, c2, c1))
+        a3 = g.add_node(ops.ASSUME, (), (x, c1, c2, c1))
+        assert a1 == a2 == a3
+
+    def test_constraint_merge_collapses_tail(self):
+        g = EGraph()
+        x, c1, c2 = leaf(g, "x"), leaf(g, "c1"), leaf(g, "c2")
+        a_two = g.add_node(ops.ASSUME, (), (x, c1, c2))
+        a_one = g.add_node(ops.ASSUME, (), (x, c1))
+        assert a_two != a_one
+        g.union(c1, c2)
+        g.rebuild()
+        assert g.find(a_two) == g.find(a_one)
+
+
+class TestExprRoundtrip:
+    def test_add_expr_and_extract_any(self):
+        g = EGraph()
+        x = var("x", 4)
+        e = mux(gt(x, 2), x + 1, const(0))
+        root = g.add_expr(e)
+        back = g.any_expr(root)
+        assert back == e  # nothing merged yet: same tree comes back
+
+    def test_invariants_after_stress(self):
+        g = EGraph()
+        x, y = var("x", 4), var("y", 4)
+        r1 = g.add_expr((x + y) + 1)
+        r2 = g.add_expr((y + x) + 1)
+        g.union(g.add_expr(x + y), g.add_expr(y + x))
+        g.rebuild()
+        assert g.find(r1) == g.find(r2)
+        g.check_invariants()

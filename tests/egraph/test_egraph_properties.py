@@ -1,0 +1,104 @@
+"""Property-based e-graph invariants under random union/add workloads."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.egraph import EGraph
+from repro.ir import ops
+
+
+@st.composite
+def workload(draw):
+    """A random sequence of add/union operations over small signatures."""
+    n_leaves = draw(st.integers(2, 5))
+    steps = draw(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 999), st.integers(0, 999)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    return n_leaves, steps
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload())
+def test_invariants_hold_under_random_workloads(load):
+    n_leaves, steps = load
+    g = EGraph()
+    ids = [g.add_node(ops.VAR, (f"v{i}", 4)) for i in range(n_leaves)]
+    unary = [ops.NEG, ops.ABS, ops.LNOT]
+    for kind, x, y in steps:
+        a = ids[x % len(ids)]
+        b = ids[y % len(ids)]
+        if kind == 0:
+            ids.append(g.add_node(unary[x % 3], (), (g.find(a),)))
+        elif kind == 1:
+            ids.append(g.add_node(ops.ADD, (), (g.find(a), g.find(b))))
+        else:
+            g.union(a, b)
+    g.rebuild()
+    g.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload())
+def test_congruence_is_maintained(load):
+    """After rebuild: equal children => nodes in the same class."""
+    n_leaves, steps = load
+    g = EGraph()
+    ids = [g.add_node(ops.VAR, (f"v{i}", 4)) for i in range(n_leaves)]
+    for kind, x, y in steps:
+        a, b = ids[x % len(ids)], ids[y % len(ids)]
+        if kind == 0:
+            ids.append(g.add_node(ops.NEG, (), (g.find(a),)))
+        elif kind == 1:
+            ids.append(g.add_node(ops.ADD, (), (g.find(a), g.find(b))))
+        else:
+            g.union(a, b)
+    g.rebuild()
+    seen = {}
+    for eclass in g.classes():
+        for node in eclass.nodes:
+            canon = node.canonical(g.find)
+            assert seen.setdefault(canon, eclass.id) == eclass.id
+
+
+def test_rebuild_is_idempotent():
+    g = EGraph()
+    a = g.add_node(ops.VAR, ("a", 4))
+    b = g.add_node(ops.VAR, ("b", 4))
+    fa = g.add_node(ops.NEG, (), (a,))
+    fb = g.add_node(ops.NEG, (), (b,))
+    g.union(a, b)
+    first = g.rebuild()
+    assert first >= 1
+    assert g.rebuild() == 0
+    assert g.find(fa) == g.find(fb)
+
+
+def test_union_transcript_independent_of_order():
+    """The final partition does not depend on union order."""
+    rng = random.Random(9)
+    pairs = [(rng.randrange(8), rng.randrange(8)) for _ in range(12)]
+
+    def build(order):
+        g = EGraph()
+        ids = [g.add_node(ops.VAR, (f"v{i}", 4)) for i in range(8)]
+        fs = [g.add_node(ops.NEG, (), (i,)) for i in ids]
+        for a, b in order:
+            g.union(ids[a], ids[b])
+        g.rebuild()
+        partition = []
+        for i in range(8):
+            row = tuple(
+                int(g.find(fs[i]) == g.find(fs[j])) for j in range(8)
+            )
+            partition.append(row)
+        return partition
+
+    forward = build(pairs)
+    backward = build(list(reversed(pairs)))
+    assert forward == backward

@@ -1,0 +1,71 @@
+"""Union-find invariants (unit + property)."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.egraph import UnionFind
+
+
+def test_singletons_are_own_roots():
+    uf = UnionFind()
+    ids = [uf.make_set() for _ in range(10)]
+    assert [uf.find(i) for i in ids] == ids
+
+
+def test_union_connects():
+    uf = UnionFind()
+    a, b, c = (uf.make_set() for _ in range(3))
+    uf.union(a, b)
+    assert uf.in_same_set(a, b)
+    assert not uf.in_same_set(a, c)
+    uf.union(b, c)
+    assert uf.in_same_set(a, c)
+
+
+def test_union_returns_root_and_absorbed():
+    uf = UnionFind()
+    a, b = uf.make_set(), uf.make_set()
+    root, absorbed = uf.union(a, b)
+    assert {root, absorbed} == {a, b}
+    assert uf.find(a) == root
+    root2, absorbed2 = uf.union(a, b)
+    assert root2 == absorbed2 == root
+
+
+@given(st.lists(st.tuples(st.integers(0, 49), st.integers(0, 49)), max_size=200))
+def test_matches_naive_partition(pairs):
+    """Union-find agrees with a naive set-merging implementation."""
+    uf = UnionFind()
+    for _ in range(50):
+        uf.make_set()
+    naive = [{i} for i in range(50)]
+
+    def naive_find(x):
+        for group in naive:
+            if x in group:
+                return group
+        raise AssertionError
+
+    for a, b in pairs:
+        uf.union(a, b)
+        ga, gb = naive_find(a), naive_find(b)
+        if ga is not gb:
+            ga |= gb
+            naive.remove(gb)
+
+    for x in range(50):
+        for y in range(50):
+            assert uf.in_same_set(x, y) == (naive_find(x) is naive_find(y))
+
+
+def test_path_compression_keeps_answers_stable():
+    uf = UnionFind()
+    ids = [uf.make_set() for _ in range(100)]
+    rng = random.Random(3)
+    for _ in range(80):
+        uf.union(rng.choice(ids), rng.choice(ids))
+    before = [uf.find(i) for i in ids]
+    after = [uf.find(i) for i in ids]
+    assert before == after

@@ -1,0 +1,67 @@
+"""Hacker's-Delight bitwise bounds vs brute force."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.intervals.bitops import max_and, max_or, max_xor, min_and, min_or, min_xor
+
+CASES = [
+    (0, 7, 0, 7),
+    (3, 9, 4, 12),
+    (5, 5, 9, 9),
+    (0, 255, 128, 255),
+    (17, 42, 100, 130),
+    (1, 2, 1, 2),
+    (64, 127, 0, 63),
+]
+
+
+def brute(op, a_lo, a_hi, b_lo, b_hi):
+    values = [
+        op(a, b)
+        for a, b in itertools.product(range(a_lo, a_hi + 1), range(b_lo, b_hi + 1))
+    ]
+    return min(values), max(values)
+
+
+@pytest.mark.parametrize("a_lo,a_hi,b_lo,b_hi", CASES)
+def test_or_bounds_sound_and_tight(a_lo, a_hi, b_lo, b_hi):
+    lo, hi = brute(lambda a, b: a | b, a_lo, a_hi, b_lo, b_hi)
+    assert min_or(a_lo, a_hi, b_lo, b_hi) <= lo
+    assert max_or(a_lo, a_hi, b_lo, b_hi) >= hi
+    # Hacker's Delight bounds are attainable (exact) for boxes:
+    assert min_or(a_lo, a_hi, b_lo, b_hi) == lo
+    assert max_or(a_lo, a_hi, b_lo, b_hi) == hi
+
+
+@pytest.mark.parametrize("a_lo,a_hi,b_lo,b_hi", CASES)
+def test_and_bounds_sound_and_tight(a_lo, a_hi, b_lo, b_hi):
+    lo, hi = brute(lambda a, b: a & b, a_lo, a_hi, b_lo, b_hi)
+    assert min_and(a_lo, a_hi, b_lo, b_hi) == lo
+    assert max_and(a_lo, a_hi, b_lo, b_hi) == hi
+
+
+@pytest.mark.parametrize("a_lo,a_hi,b_lo,b_hi", CASES)
+def test_xor_bounds_sound(a_lo, a_hi, b_lo, b_hi):
+    lo, hi = brute(lambda a, b: a ^ b, a_lo, a_hi, b_lo, b_hi)
+    assert min_xor(a_lo, a_hi, b_lo, b_hi) <= lo
+    assert max_xor(a_lo, a_hi, b_lo, b_hi) >= hi
+
+
+def test_exhaustive_small_boxes():
+    """Every box within [0, 15]^2: bounds sound for all three operators."""
+    for a_lo in range(16):
+        for a_hi in range(a_lo, 16):
+            for b_lo in range(16):
+                for b_hi in range(b_lo, 16):
+                    for op, lo_fn, hi_fn in (
+                        (lambda a, b: a | b, min_or, max_or),
+                        (lambda a, b: a & b, min_and, max_and),
+                        (lambda a, b: a ^ b, min_xor, max_xor),
+                    ):
+                        lo, hi = brute(op, a_lo, a_hi, b_lo, b_hi)
+                        assert lo_fn(a_lo, a_hi, b_lo, b_hi) <= lo
+                        assert hi_fn(a_lo, a_hi, b_lo, b_hi) >= hi

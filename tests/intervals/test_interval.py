@@ -1,0 +1,69 @@
+"""Unit tests for the single-interval primitive."""
+
+import pytest
+
+from repro.intervals import Interval
+
+
+class TestConstruction:
+    def test_point(self):
+        iv = Interval(3, 3)
+        assert iv.is_point
+        assert iv.size() == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2, 1)
+
+    def test_unbounded(self):
+        iv = Interval(None, 5)
+        assert not iv.bounded
+        assert iv.size() is None
+        assert iv.contains(-10**9)
+        assert not iv.contains(6)
+
+    def test_full_line(self):
+        iv = Interval(None, None)
+        assert iv.contains(0)
+        assert iv.contains(-(10**12))
+        assert iv.contains(10**12)
+
+
+class TestContains:
+    def test_bounds_inclusive(self):
+        iv = Interval(-2, 7)
+        assert iv.contains(-2)
+        assert iv.contains(7)
+        assert not iv.contains(-3)
+        assert not iv.contains(8)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 5))
+        assert not Interval(0, 10).contains_interval(Interval(2, 11))
+        assert Interval(None, None).contains_interval(Interval(None, 5))
+        assert not Interval(0, None).contains_interval(Interval(None, 5))
+
+
+class TestSetAlgebra:
+    def test_intersect_overlap(self):
+        assert Interval(0, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+
+    def test_intersect_disjoint(self):
+        assert Interval(0, 2).intersect(Interval(4, 6)) is None
+
+    def test_intersect_touching(self):
+        assert Interval(0, 3).intersect(Interval(3, 6)) == Interval(3, 3)
+
+    def test_intersect_halfline(self):
+        assert Interval(-3, 3).intersect(Interval(1, None)) == Interval(1, 3)
+
+    def test_hull(self):
+        assert Interval(0, 2).hull(Interval(5, 9)) == Interval(0, 9)
+        assert Interval(None, 2).hull(Interval(5, 9)) == Interval(None, 9)
+
+    def test_adjacency(self):
+        # Integer intervals [1,2] and [3,5] merge: no gap between 2 and 3.
+        assert Interval(1, 2).overlaps_or_adjacent(Interval(3, 5))
+        assert Interval(3, 5).overlaps_or_adjacent(Interval(1, 2))
+        assert not Interval(1, 2).overlaps_or_adjacent(Interval(4, 5))
+        assert not Interval(4, 5).overlaps_or_adjacent(Interval(1, 2))

@@ -1,0 +1,168 @@
+"""Unit tests for IntervalSet: canonical form, set algebra, transfer ops."""
+
+import pytest
+
+from repro.intervals import Interval, IntervalSet
+
+
+class TestCanonicalForm:
+    def test_merge_overlapping(self):
+        s = IntervalSet.from_intervals([Interval(0, 5), Interval(3, 9)])
+        assert s.parts == (Interval(0, 9),)
+
+    def test_merge_adjacent_integers(self):
+        s = IntervalSet.from_intervals([Interval(1, 2), Interval(3, 5)])
+        assert s.parts == (Interval(1, 5),)
+
+    def test_disjoint_stay_apart(self):
+        s = IntervalSet.from_intervals([Interval(0, 1), Interval(5, 6)])
+        assert len(s.parts) == 2
+
+    def test_sorted_regardless_of_input_order(self):
+        s = IntervalSet.from_intervals([Interval(8, 9), Interval(0, 1)])
+        assert s.parts == (Interval(0, 1), Interval(8, 9))
+
+    def test_coalesce_cap_merges_smallest_gap(self):
+        pieces = [Interval(i * 10, i * 10 + 1) for i in range(20)]
+        pieces.append(Interval(200, 200))
+        s = IntervalSet.from_intervals(pieces, cap=4)
+        assert len(s.parts) <= 4
+        # Soundness: every original value still covered.
+        for piece in pieces:
+            assert s.contains(piece.lo) and s.contains(piece.hi)
+
+    def test_from_values(self):
+        s = IntervalSet.from_values([5, 1, 2, 3, 9])
+        assert s.parts == (Interval(1, 3), Interval(5, 5), Interval(9, 9))
+        assert s.size() == 5
+
+
+class TestQueries:
+    def test_empty(self):
+        assert IntervalSet.empty().is_empty
+        assert IntervalSet.empty().min() is None
+        assert not IntervalSet.empty().contains(0)
+
+    def test_point(self):
+        assert IntervalSet.point(7).as_point() == 7
+        assert IntervalSet.of(7, 8).as_point() is None
+
+    def test_unsigned(self):
+        s = IntervalSet.unsigned(8)
+        assert s.min() == 0 and s.max() == 255
+
+    def test_issubset(self):
+        small = IntervalSet.from_values([1, 2, 9])
+        big = IntervalSet.of(0, 3).union(IntervalSet.of(8, 10))
+        assert small.issubset(big)
+        assert not big.issubset(small)
+
+    def test_iter_values(self):
+        s = IntervalSet.of(0, 2).union(IntervalSet.point(9))
+        assert list(s.iter_values()) == [0, 1, 2, 9]
+
+    def test_iter_values_guard(self):
+        with pytest.raises(ValueError):
+            list(IntervalSet.of(0, None).iter_values())
+
+
+class TestSetAlgebra:
+    def test_union_disjoint(self):
+        s = IntervalSet.of(0, 1).union(IntervalSet.of(10, 11))
+        assert len(s.parts) == 2
+
+    def test_intersect_pairs(self):
+        a = IntervalSet.of(0, 10)
+        b = IntervalSet.of(2, 3).union(IntervalSet.of(8, 20))
+        assert a.intersect(b).parts == (Interval(2, 3), Interval(8, 10))
+
+    def test_remove_point_splits(self):
+        s = IntervalSet.of(0, 4).remove_point(2)
+        assert s.parts == (Interval(0, 1), Interval(3, 4))
+
+    def test_remove_point_edges(self):
+        assert IntervalSet.of(0, 4).remove_point(0).parts == (Interval(1, 4),)
+        assert IntervalSet.of(0, 4).remove_point(4).parts == (Interval(0, 3),)
+        assert IntervalSet.point(3).remove_point(3).is_empty
+
+    def test_remove_point_on_halfline(self):
+        s = IntervalSet.top().remove_point(0)
+        assert not s.contains(0)
+        assert s.contains(-1) and s.contains(1)
+
+    def test_hull(self):
+        s = IntervalSet.of(0, 1).union(IntervalSet.of(9, 10))
+        assert s.hull().parts == (Interval(0, 10),)
+
+
+class TestPaperExamples:
+    def test_section_iii_b_example(self):
+        """A[[ASSUME(x, x>0)]] = [-3,3] n (0, inf) = [1, 3]."""
+        got = IntervalSet.of(-3, 3).intersect(IntervalSet.of(1, None))
+        assert got == IntervalSet.of(1, 3)
+
+    def test_equation_5_same_block(self):
+        # [9, 14] mod 8: floor(9/8) == floor(14/8) == 1 -> [1, 6]
+        assert IntervalSet.of(9, 14).trunc_mod(8) == IntervalSet.of(1, 6)
+
+    def test_equation_5_crossing(self):
+        # [5, 9] mod 8 crosses a block boundary -> [0, 7]
+        assert IntervalSet.of(5, 9).trunc_mod(8) == IntervalSet.of(0, 7)
+
+    def test_equation_5_negative(self):
+        # floor semantics: [-3, -2] mod 8 stays in one block -> [5, 6]
+        assert IntervalSet.of(-3, -2).trunc_mod(8) == IntervalSet.of(5, 6)
+
+    def test_figure_1_lzc(self):
+        """x + y >= 128 at 9 bits has at most one leading zero."""
+        assert IntervalSet.of(128, 510).lzc(9) == IntervalSet.of(0, 1)
+
+
+class TestComparisons:
+    def test_lt_definitely_true(self):
+        assert IntervalSet.of(0, 3).cmp_lt(IntervalSet.of(4, 9)).as_point() == 1
+
+    def test_lt_definitely_false(self):
+        assert IntervalSet.of(4, 9).cmp_lt(IntervalSet.of(0, 4)).as_point() == 0
+
+    def test_lt_unknown(self):
+        assert IntervalSet.of(0, 5).cmp_lt(IntervalSet.of(3, 9)) == IntervalSet.of(0, 1)
+
+    def test_eq_singletons(self):
+        assert IntervalSet.point(3).cmp_eq(IntervalSet.point(3)).as_point() == 1
+        assert IntervalSet.point(3).cmp_eq(IntervalSet.point(4)).as_point() == 0
+
+    def test_eq_disjoint_union_gap(self):
+        # The interpolation mechanism: a value in the gap of a union is
+        # provably never equal — but the hull cannot prove it.
+        blend = IntervalSet.of(0, 255).union(IntervalSet.of(512, 767))
+        assert blend.cmp_eq(IntervalSet.point(300)).as_point() == 0
+        assert blend.hull().cmp_eq(IntervalSet.point(300)).as_point() is None
+
+    def test_truthiness(self):
+        assert IntervalSet.point(0).truthiness() is False
+        assert IntervalSet.of(1, 5).truthiness() is True
+        assert IntervalSet.of(0, 5).truthiness() is None
+
+    def test_logical_not(self):
+        assert IntervalSet.point(0).logical_not().as_point() == 1
+        assert IntervalSet.of(3, 5).logical_not().as_point() == 0
+        assert IntervalSet.of(0, 5).logical_not() == IntervalSet.of(0, 1)
+
+
+class TestWidths:
+    def test_unsigned_width(self):
+        assert IntervalSet.of(0, 255).unsigned_width() == 8
+        assert IntervalSet.of(0, 256).unsigned_width() == 9
+        assert IntervalSet.point(0).unsigned_width() == 1
+        assert IntervalSet.of(-1, 3).unsigned_width() is None
+
+    def test_signed_width(self):
+        assert IntervalSet.of(-1, 0).signed_width() == 1
+        assert IntervalSet.of(-128, 127).signed_width() == 8
+        assert IntervalSet.of(-129, 127).signed_width() == 9
+        assert IntervalSet.of(0, 127).signed_width() == 8
+
+    def test_storage_width_prefers_unsigned(self):
+        assert IntervalSet.of(0, 255).storage_width() == 8
+        assert IntervalSet.of(-4, 3).storage_width() == 3

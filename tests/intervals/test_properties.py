@@ -1,0 +1,137 @@
+"""Property-based soundness tests for every IntervalSet transfer function.
+
+The defining property of the abstract domain: for concrete members
+``x in A`` and ``y in B``, ``op(x, y) in A.op(B)``.  Hypothesis drives the
+operand sets and the sampled members.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import IntervalSet
+
+
+@st.composite
+def iset_and_member(draw, lo=-200, hi=200):
+    """A bounded interval set together with one of its members."""
+    n = draw(st.integers(1, 3))
+    pieces = []
+    for _ in range(n):
+        a = draw(st.integers(lo, hi))
+        b = draw(st.integers(lo, hi))
+        pieces.append((min(a, b), max(a, b)))
+    iset = IntervalSet.empty()
+    for a, b in pieces:
+        iset = iset.union(IntervalSet.of(a, b))
+    index = draw(st.integers(0, len(iset.parts) - 1))
+    piece = iset.parts[index]
+    member = draw(st.integers(piece.lo, piece.hi))
+    return iset, member
+
+
+@given(iset_and_member(), iset_and_member())
+def test_add_sound(ab, cd):
+    (a, x), (b, y) = ab, cd
+    assert (x + y) in a.add(b)
+
+
+@given(iset_and_member(), iset_and_member())
+def test_sub_sound(ab, cd):
+    (a, x), (b, y) = ab, cd
+    assert (x - y) in a.sub(b)
+
+
+@given(iset_and_member(), iset_and_member())
+def test_mul_sound(ab, cd):
+    (a, x), (b, y) = ab, cd
+    assert (x * y) in a.mul(b)
+
+
+@given(iset_and_member())
+def test_neg_abs_sound(ab):
+    a, x = ab
+    assert (-x) in a.neg()
+    assert abs(x) in a.abs()
+
+
+@given(iset_and_member(), iset_and_member(lo=0, hi=12))
+def test_shifts_sound(ab, cd):
+    (a, x), (s, k) = ab, cd
+    assert (x << k) in a.shl(s)
+    assert (x >> k) in a.shr(s)
+
+
+@given(iset_and_member(), iset_and_member(), st.integers(1, 64))
+def test_mod_sound(ab, cd, p):
+    (a, x), (_, _) = ab, cd
+    assert (x % p) in a.trunc_mod(p)
+
+
+@given(iset_and_member(lo=0, hi=511), st.integers(9, 12))
+def test_lzc_sound(ab, width):
+    a, x = ab
+    if x < (1 << width):
+        assert (width - x.bit_length()) in a.lzc(width)
+
+
+@given(iset_and_member(lo=0, hi=255), iset_and_member(lo=0, hi=255))
+def test_bitwise_sound(ab, cd):
+    (a, x), (b, y) = ab, cd
+    assert (x & y) in a.bit_and(b)
+    assert (x | y) in a.bit_or(b)
+    assert (x ^ y) in a.bit_xor(b)
+
+
+@given(iset_and_member(lo=0, hi=255), st.integers(8, 10))
+def test_bitnot_sound(ab, width):
+    a, x = ab
+    assert (((1 << width) - 1) - x) in a.bit_not(width)
+
+
+@given(iset_and_member(), iset_and_member())
+def test_minmax_sound(ab, cd):
+    (a, x), (b, y) = ab, cd
+    assert min(x, y) in a.min_with(b)
+    assert max(x, y) in a.max_with(b)
+
+
+@given(iset_and_member(), iset_and_member())
+def test_comparisons_sound(ab, cd):
+    (a, x), (b, y) = ab, cd
+    assert int(x < y) in a.cmp_lt(b)
+    assert int(x <= y) in a.cmp_le(b)
+    assert int(x > y) in a.cmp_gt(b)
+    assert int(x >= y) in a.cmp_ge(b)
+    assert int(x == y) in a.cmp_eq(b)
+    assert int(x != y) in a.cmp_ne(b)
+
+
+@given(iset_and_member(), iset_and_member())
+def test_union_intersect_membership(ab, cd):
+    (a, x), (b, y) = ab, cd
+    assert x in a.union(b)
+    assert y in a.union(b)
+    both = a.intersect(b)
+    if x in b:
+        assert x in both
+
+
+@given(iset_and_member())
+def test_canonical_no_overlap_no_adjacency(ab):
+    a, _ = ab
+    for left, right in zip(a.parts, a.parts[1:]):
+        assert left.hi + 1 < right.lo, f"non-canonical: {a}"
+
+
+@settings(max_examples=30)
+@given(iset_and_member(), iset_and_member())
+def test_width_covers_members(ab, cd):
+    (a, x), _ = ab, cd
+    width = a.storage_width()
+    assert width is not None
+    if a.min() >= 0:
+        assert x < (1 << width)
+    else:
+        assert -(1 << (width - 1)) <= x < (1 << (width - 1))

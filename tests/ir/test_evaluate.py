@@ -1,0 +1,129 @@
+"""Concrete semantics over Z' = Z u {*} (eq. (1) and Section III-B)."""
+
+import pytest
+
+from repro.ir import (
+    BOT, abs_, assume, bitnot, concat, const, eq, evaluate, evaluate_total,
+    ge, gt, le, lnot, lt, lzc, max_, min_, mux, ne, slice_, trunc, var,
+)
+from repro.ir.evaluate import exhaustive_envs, input_variables
+
+
+X = var("x", 4)
+Y = var("y", 4)
+
+
+def ev(e, **env):
+    return evaluate(e, env)
+
+
+class TestBasicOps:
+    def test_arith_exact(self):
+        assert ev(X + Y, x=15, y=15) == 30  # no wrap: exact integers
+        assert ev(X - Y, x=3, y=5) == -2    # may go negative
+        assert ev(X * Y, x=7, y=9) == 63
+        assert ev(-X, x=5) == -5
+
+    def test_shifts(self):
+        assert ev(X << Y, x=3, y=2) == 12
+        assert ev(X >> Y, x=12, y=2) == 3
+        assert ev((X - 15) >> const(1), x=0) == -8  # floor semantics
+
+    def test_comparisons(self):
+        assert ev(lt(X, Y), x=3, y=4) == 1
+        assert ev(ge(X, Y), x=3, y=4) == 0
+        assert ev(eq(X, Y), x=4, y=4) == 1
+        assert ev(ne(X, Y), x=4, y=4) == 0
+        assert ev(le(X, Y), x=4, y=4) == 1
+        assert ev(gt(X, Y), x=5, y=4) == 1
+
+    def test_logic(self):
+        assert ev(lnot(X), x=0) == 1
+        assert ev(lnot(X), x=7) == 0
+        assert ev(X & Y, x=12, y=10) == 8
+        assert ev(X | Y, x=12, y=10) == 14
+        assert ev(X ^ Y, x=12, y=10) == 6
+        assert ev(bitnot(X, 4), x=5) == 10
+
+    def test_structure_ops(self):
+        assert ev(trunc(X + Y, 4), x=15, y=1) == 0
+        assert ev(slice_(X, 3, 2), x=0b1101) == 0b11
+        assert ev(concat(X, Y, 4), x=0b11, y=0b0101) == 0b110101
+        assert ev(lzc(X, 4), x=0b0010) == 2
+        assert ev(lzc(X, 4), x=0) == 4
+
+    def test_minmax_abs(self):
+        assert ev(min_(X, Y), x=3, y=9) == 3
+        assert ev(max_(X, Y), x=3, y=9) == 9
+        assert ev(abs_(X - Y), x=3, y=9) == 6
+
+    def test_mux_nonzero_condition(self):
+        assert ev(mux(X, 1, 2), x=5) == 1
+        assert ev(mux(X, 1, 2), x=0) == 2
+
+
+class TestBotSemantics:
+    def test_assume_holds(self):
+        assert ev(assume(X, gt(X, 2)), x=5) == 5
+
+    def test_assume_fails(self):
+        assert ev(assume(X, gt(X, 2)), x=1) is BOT
+
+    def test_assume_multiple_constraints(self):
+        e = assume(X, gt(X, 2), lt(X, 9))
+        assert ev(e, x=5) == 5
+        assert ev(e, x=1) is BOT
+        assert ev(e, x=10) is BOT
+
+    def test_strict_propagation(self):
+        assert ev(assume(X, gt(X, 2)) + 1, x=1) is BOT
+        assert ev(lzc(assume(X, gt(X, 2)), 4), x=0) is BOT
+
+    def test_mux_shields_unreachable_branch(self):
+        """The ternary is non-strict: only the selected branch matters."""
+        guarded = mux(gt(X, 2), assume(X, gt(X, 2)), const(0))
+        assert ev(guarded, x=5) == 5
+        assert ev(guarded, x=1) == 0
+
+    def test_mux_strict_in_condition(self):
+        e = mux(assume(X, gt(X, 2)), 1, 2)
+        assert ev(e, x=0) is BOT
+
+    def test_paper_equation_2(self):
+        """x ~=_c y  iff  ASSUME(x,c) ~= ASSUME(y,c): fabs example."""
+        xs = X - 8
+        lhs = assume(abs_(xs), gt(xs, 0))
+        rhs = assume(xs, gt(xs, 0))
+        for x in range(16):
+            assert ev(lhs, x=x) == ev(rhs, x=x)
+
+    def test_domain_errors(self):
+        assert ev(lzc(X + Y, 4), x=15, y=15) is BOT  # 30 needs 5 bits
+        assert ev((X - Y) & X, x=0, y=1) is BOT      # negative bitwise
+        assert ev(X >> (X - Y), x=0, y=1) is BOT     # negative shift
+
+    def test_evaluate_total_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_total(assume(X, gt(X, 2)), {"x": 0})
+
+
+class TestEnvHandling:
+    def test_input_variables(self):
+        e = mux(gt(X, Y), X, var("z", 2))
+        assert input_variables(e) == {"x": 4, "y": 4, "z": 2}
+
+    def test_conflicting_widths_rejected(self):
+        e = var("x", 4) + var("x", 5)
+        with pytest.raises(ValueError):
+            input_variables(e)
+
+    def test_out_of_range_input_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate(X, {"x": 16})
+
+    def test_exhaustive_envs(self):
+        envs = list(exhaustive_envs({"a": 2, "b": 1}))
+        assert len(envs) == 8
+        assert {(e["a"], e["b"]) for e in envs} == {
+            (a, b) for a in range(4) for b in range(2)
+        }

@@ -1,0 +1,98 @@
+"""Expression tree construction, sugar, traversal."""
+
+import pytest
+
+from repro.ir import (
+    ABS, ADD, ASSUME, CONST, MUX, SUB, VAR,
+    abs_, assume, const, eq, gt, lzc, mux, trunc, var,
+)
+from repro.ir.expr import Expr, pretty, subterms
+
+
+class TestConstruction:
+    def test_var(self):
+        x = var("x", 8)
+        assert x.is_var and x.var_name == "x" and x.var_width == 8
+
+    def test_var_width_positive(self):
+        with pytest.raises(ValueError):
+            var("x", 0)
+
+    def test_const(self):
+        assert const(5).value == 5
+        assert const(-3).value == -3
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Expr(ADD, (), (const(1),))
+
+    def test_attrs_enforced(self):
+        with pytest.raises(ValueError):
+            Expr(VAR, ("x",))  # missing width
+
+    def test_assume_needs_constraint(self):
+        with pytest.raises(ValueError):
+            assume(var("x", 4))
+
+
+class TestSugar:
+    def test_operators_build_nodes(self):
+        x, y = var("x", 4), var("y", 4)
+        assert (x + y).op is ADD
+        assert (x - y).op is SUB
+        assert (x + 1).children[1].value == 1
+        assert (1 + x).children[0].value == 1
+        assert (-x).op.name == "NEG"
+        assert (x << 2).op.name == "SHL"
+        assert (x & y).op.name == "AND"
+
+    def test_structural_equality_and_hash(self):
+        x = var("x", 4)
+        assert x + 1 == x + 1
+        assert hash(x + 1) == hash(x + 1)
+        assert x + 1 != x + 2
+
+    def test_mux_lifts_ints(self):
+        m = mux(1, 2, 3)
+        assert all(c.is_const for c in m.children)
+
+
+class TestTraversal:
+    def test_walk_covers_all(self):
+        x, y = var("x", 4), var("y", 4)
+        e = mux(gt(x, y), x - y, y - x)
+        names = {n.var_name for n in e.walk() if n.is_var}
+        assert names == {"x", "y"}
+
+    def test_count_nodes_is_dag_size(self):
+        x = var("x", 4)
+        shared = x + 1
+        e = shared * shared
+        assert e.count_nodes() == 4  # x, 1, x+1, mul
+
+    def test_depth(self):
+        x = var("x", 4)
+        assert x.depth() == 1
+        assert (x + 1).depth() == 2
+        assert ((x + 1) + 1).depth() == 3
+
+    def test_subterms_multi_root(self):
+        x = var("x", 4)
+        assert len(subterms([x + 1, x + 2])) == 5
+
+
+class TestPretty:
+    def test_infix(self):
+        x = var("x", 4)
+        assert pretty(x + 1) == "(x + 1)"
+
+    def test_mux(self):
+        assert "?" in pretty(mux(var("c", 1), 1, 0))
+
+    def test_assume(self):
+        text = pretty(assume(var("x", 4), gt(var("x", 4), 0)))
+        assert text.startswith("assume(")
+
+    def test_attrs_shown(self):
+        assert pretty(lzc(var("x", 4), 4)) == "lzc<4>(x)"
+        assert pretty(trunc(var("x", 4), 2)) == "trunc<2>(x)"

@@ -1,0 +1,72 @@
+"""The command-line interface and the DOT export."""
+
+import pytest
+
+from repro.analysis import DatapathAnalysis
+from repro.cli import build_parser, main, parse_range
+from repro.egraph import EGraph
+from repro.egraph.dot import to_dot
+from repro.intervals import IntervalSet
+from repro.ir import gt, mux, var
+from repro.rtl import module_to_ir
+
+SOURCE = """
+module toy (input [7:0] a, input [7:0] b, output [8:0] y);
+  wire [8:0] s = a + b;
+  assign y = (s > 9'd510) ? 9'd510 : s;
+endmodule
+"""
+
+
+class TestCli:
+    def test_parse_range(self):
+        name, iset = parse_range("x=128:255")
+        assert name == "x" and iset == IntervalSet.of(128, 255)
+
+    def test_parse_range_rejects_junk(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_range("x128")
+
+    def test_end_to_end(self, tmp_path, capsys):
+        src = tmp_path / "toy.v"
+        src.write_text(SOURCE)
+        out = tmp_path / "opt.v"
+        code = main([str(src), "-o", str(out), "--iters", "5"])
+        assert code == 0
+        text = out.read_text()
+        assert "module optimized" in text
+        # Round-trips through our own frontend and lost the dead clamp.
+        outs = module_to_ir(text)
+        assert "y" in outs
+        report = capsys.readouterr().err
+        assert "delay" in report and "EQUIVALENT" in report
+
+    def test_parser_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["f.v", "--range", "x=0:3", "--no-verify", "--nodes", "100"]
+        )
+        assert args.ranges[0][0] == "x"
+        assert args.no_verify and args.nodes == 100
+
+
+class TestDot:
+    def test_dot_contains_classes_and_ranges(self):
+        g = EGraph([DatapathAnalysis()])
+        x = var("x", 4)
+        g.add_expr(mux(gt(x, 2), x + 1, x))
+        g.rebuild()
+        text = to_dot(g)
+        assert text.startswith("digraph egraph")
+        assert "cluster_" in text
+        assert "[0, 15]" in text  # the interval annotation
+        assert "->" in text
+
+    def test_dot_respects_limit(self):
+        g = EGraph([DatapathAnalysis()])
+        for i in range(30):
+            g.add_expr(var(f"v{i}", 4) + i)
+        text = to_dot(g, max_classes=5)
+        assert text.count("subgraph") == 5

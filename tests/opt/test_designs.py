@@ -1,0 +1,125 @@
+"""The benchmark designs themselves: well-formedness and semantics."""
+
+import random
+
+import pytest
+
+from repro.designs import (
+    DESIGNS,
+    fp_sub_behavioural_ir,
+    fp_sub_behavioural_verilog,
+    fp_sub_dual_path_ir,
+    fp_sub_input_ranges,
+    get_design,
+)
+from repro.ir import ops
+from repro.ir.evaluate import evaluate_total
+from repro.rtl import module_to_ir
+from repro.verify import check_equivalent
+
+
+def test_registry_complete():
+    assert set(DESIGNS) == {
+        "fp_sub", "float_to_unorm", "interpolation", "unorm_to_float",
+        "lzc_example",
+    }
+    with pytest.raises(KeyError):
+        get_design("nope")
+
+
+@pytest.mark.parametrize("name", sorted(DESIGNS))
+def test_designs_parse_and_elaborate(name):
+    design = get_design(name)
+    outs = module_to_ir(design.verilog)
+    assert design.output in outs
+    assert outs[design.output].count_nodes() > 3
+
+
+class TestFpSubSemantics:
+    """The behavioural design must actually compute FP subtraction."""
+
+    @staticmethod
+    def reference(ma, mb, ea, eb, man_width=10):
+        """Round-toward-zero mantissa of |2^ea*ma - 2^eb*mb| / 2^min."""
+        a_val, b_val = ma << ea, mb << eb
+        diff = abs(a_val - b_val)
+        if diff == 0:
+            return 0
+        # Normalize: drop the leading one, keep man_width bits below it.
+        shift = diff.bit_length() - 1 - man_width
+        out = diff >> shift if shift >= 0 else diff << -shift
+        return out & ((1 << man_width) - 1)
+
+    def test_against_arithmetic_reference(self):
+        expr = fp_sub_behavioural_ir(exp_width=3, man_width=3)
+        rng = random.Random(2)
+        for _ in range(500):
+            ma, mb = rng.randint(8, 15), rng.randint(8, 15)
+            ea, eb = rng.randrange(8), rng.randrange(8)
+            got = evaluate_total(expr, {"MA": ma, "MB": mb, "ea": ea, "eb": eb})
+            assert got == self.reference(ma, mb, ea, eb, 3), (ma, mb, ea, eb)
+
+    def test_dual_path_equivalent_small_exhaustive(self):
+        behav = fp_sub_behavioural_ir(exp_width=2, man_width=2)
+        dual = fp_sub_dual_path_ir(exp_width=2, man_width=2)
+        verdict = check_equivalent(
+            behav, dual, fp_sub_input_ranges(exp_width=2, man_width=2)
+        )
+        assert verdict.equivalent is True
+
+    def test_dual_path_equivalent_medium(self):
+        behav = fp_sub_behavioural_ir(exp_width=3, man_width=4)
+        dual = fp_sub_dual_path_ir(exp_width=3, man_width=4)
+        verdict = check_equivalent(
+            behav, dual, fp_sub_input_ranges(exp_width=3, man_width=4),
+            exhaustive_budget=1 << 16,
+        )
+        assert verdict.equivalent is True
+
+    def test_parameterized_generation(self):
+        text = fp_sub_behavioural_verilog(exp_width=4, man_width=6)
+        outs = module_to_ir(text)
+        assert any(
+            n.op is ops.LZC and n.attrs[0] == 3 * 6 + 1 + 7
+            for n in outs["out"].walk()
+        )
+
+
+class TestInterpolationSemantics:
+    def test_bilinear_math(self):
+        outs = module_to_ir(get_design("interpolation").verilog)
+        expr = outs["out"]
+        rng = random.Random(3)
+        for _ in range(300):
+            env = {
+                "p00": rng.randrange(256), "p01": rng.randrange(256),
+                "p10": rng.randrange(256), "p11": rng.randrange(256),
+                "wx": rng.randrange(16), "wy": rng.randrange(16),
+                "mode": rng.randrange(2),
+            }
+            got = evaluate_total(expr, env)
+            if env["mode"]:
+                assert got == 512 + env["p00"]
+            else:
+                wx, wy = env["wx"], env["wy"]
+                top = env["p00"] * (16 - wx) + env["p01"] * wx
+                bot = env["p10"] * (16 - wx) + env["p11"] * wx
+                assert got == (top * (16 - wy) + bot * wy + 128) >> 8
+
+
+class TestConversionSemantics:
+    def test_float_to_unorm_known_points(self):
+        outs = module_to_ir(get_design("float_to_unorm").verilog)
+        expr = outs["out"]
+        # 1.0 (e=15, m=0) -> 2047; 0.5 (e=14, m=0) -> floor(2047/2) = 1023.
+        assert evaluate_total(expr, {"e": 15, "m": 0}) == 2047
+        assert evaluate_total(expr, {"e": 14, "m": 0}) == 1023
+        assert evaluate_total(expr, {"e": 1, "m": 0}) == 0  # 2^-14 rounds down
+
+    def test_unorm_to_float_zero_path(self):
+        outs = module_to_ir(get_design("unorm_to_float").verilog)
+        expr = outs["out"]
+        assert evaluate_total(expr, {"u": 0}) == 0
+        # u = 2047: no leading zeros -> e = 14, mantissa = low 10 bits.
+        got = evaluate_total(expr, {"u": 2047})
+        assert (got >> 10) == 14 and (got & 1023) == 1023

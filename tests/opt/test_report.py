@@ -1,0 +1,38 @@
+"""Cost reporting helpers."""
+
+from repro.intervals import IntervalSet
+from repro.ir import gt, lzc, mux, var
+from repro.opt import format_comparison, model_cost
+
+
+def test_model_cost_tracks_widths():
+    x, y = var("x", 8), var("y", 8)
+    narrow = model_cost(x + y, {"x": IntervalSet.of(0, 3), "y": IntervalSet.of(0, 3)})
+    wide = model_cost(x + y)
+    assert narrow.area < wide.area
+    assert narrow.delay <= wide.delay
+
+
+def test_model_cost_uses_refinements():
+    """Figure 1 again, at the reporting layer: the constrained LZC design
+    must model-cost less than the unconstrained one."""
+    x, y = var("x", 8), var("y", 8)
+    design = lzc(x + y, 9)
+    constrained = model_cost(design, {"x": IntervalSet.of(128, 255)})
+    free = model_cost(design)
+    assert constrained.area <= free.area
+
+
+def test_mux_condition_costs():
+    x, y = var("x", 8), var("y", 8)
+    cost = model_cost(mux(gt(x, y), x, y))
+    assert cost.delay > 0 and cost.area > 0
+
+
+def test_format_comparison_table():
+    text = format_comparison(
+        [("fp_sub", 10.0, 100.0, 8.0, 60.0), ("other", 5.0, 50.0, 5.0, 40.0)]
+    )
+    assert "fp_sub" in text
+    assert "-20%" in text or "-20 %" in text.replace("( ", "(")
+    assert "-40%" in text.replace(" ", "") or "-40" in text

@@ -1,0 +1,158 @@
+"""Table I: each ASSUME rewrite fires and does what the paper says."""
+
+from repro.analysis import DatapathAnalysis, range_of
+from repro.egraph import EGraph, Runner
+from repro.egraph.enode import ENode
+from repro.intervals import IntervalSet
+from repro.ir import ops, var
+from repro.ir.expr import assume, const, eq, gt, lnot, lt, mux
+from repro.rewrites.assume import (
+    assume_distribute_rule,
+    assume_merge_nested_rule,
+    assume_mux_prune_rule,
+    assume_rules,
+    assume_true_elim_rule,
+    mux_branch_assume_rule,
+)
+
+
+def graph(expr, **ranges):
+    g = EGraph([DatapathAnalysis(dict(ranges))])
+    root = g.add_expr(expr)
+    g.rebuild()
+    return g, root
+
+
+def run(g, rules, iters=4):
+    return Runner(g, rules, iter_limit=iters, node_limit=4000).run()
+
+
+class TestRow1MuxBranchAssume:
+    def test_wraps_branches(self):
+        x = var("x", 8)
+        g, root = graph(mux(gt(x, 2), x + 1, x - 1))
+        run(g, [mux_branch_assume_rule()])
+        cond = g.add_expr(gt(x, 2))
+        then_cls = g.add_expr(x + 1)
+        wrapped = g.lookup(ENode(ops.ASSUME, (), (then_cls, cond)))
+        assert wrapped is not None
+        # The new mux is merged into the original class.
+        not_cond = g.lookup(ENode(ops.LNOT, (), (g.find(cond),)))
+        assert not_cond is not None
+        else_wrapped = g.lookup(
+            ENode(ops.ASSUME, (), (g.add_expr(x - 1), g.find(not_cond)))
+        )
+        new_mux = g.lookup(
+            ENode(ops.MUX, (), (g.find(cond), g.find(wrapped), g.find(else_wrapped)))
+        )
+        assert g.find(new_mux) == g.find(root)
+
+    def test_idempotent(self):
+        x = var("x", 8)
+        g, _ = graph(mux(gt(x, 2), x + 1, x - 1))
+        run(g, [mux_branch_assume_rule()])
+        nodes_after_first = g.node_count
+        report = run(g, [mux_branch_assume_rule()], iters=2)
+        assert report.stop_reason.value == "saturated"
+        assert g.node_count == nodes_after_first
+
+
+class TestRow2Distribute:
+    def test_pushes_through_strict_op(self):
+        x = var("x", 8)
+        c = gt(x, 2)
+        g, root = graph(assume(x + 1, c))
+        run(g, [assume_distribute_rule()])
+        assumed_x = g.lookup(
+            ENode(ops.ASSUME, (), (g.add_expr(x), g.add_expr(c)))
+        )
+        assert assumed_x is not None
+        rebuilt = g.lookup(
+            ENode(
+                ops.ADD,
+                (),
+                (
+                    g.find(assumed_x),
+                    g.find(
+                        g.lookup(
+                            ENode(ops.ASSUME, (), (g.add_expr(const(1)), g.add_expr(c)))
+                        )
+                    ),
+                ),
+            )
+        )
+        assert g.find(rebuilt) == g.find(root)
+
+    def test_distribution_enables_refinement(self):
+        """The paper's chain: distribute, refine, exploit."""
+        x = var("x", 8)
+        g, root = graph(assume(x + 100, gt(x, 200)))
+        run(g, assume_rules())
+        # x under the constraint is [201, 255], so x+100 is [301, 355].
+        assert range_of(g, root).issubset(IntervalSet.of(301, 355))
+
+
+class TestRow3MergeNested:
+    def test_constraint_sets_unite(self):
+        x = var("x", 8)
+        c1, c2 = gt(x, 2), lt(x, 9)
+        g, root = graph(assume(assume(x, c1), c2))
+        run(g, [assume_merge_nested_rule()])
+        merged = g.lookup(
+            ENode(
+                ops.ASSUME,
+                (),
+                (g.add_expr(x), g.add_expr(c1), g.add_expr(c2)),
+            )
+        )
+        assert merged is not None and g.find(merged) == g.find(root)
+        assert range_of(g, root) == IntervalSet.of(3, 8)
+
+
+class TestRows45MuxPrune:
+    def test_true_branch_selected(self):
+        x = var("x", 8)
+        c = gt(x, 2)
+        g, root = graph(assume(mux(c, x + 1, x - 1), c))
+        run(g, [assume_mux_prune_rule()])
+        pruned = g.lookup(
+            ENode(ops.ASSUME, (), (g.add_expr(x + 1), g.add_expr(c)))
+        )
+        assert pruned is not None and g.find(pruned) == g.find(root)
+
+    def test_false_branch_via_negated_constraint(self):
+        x = var("x", 8)
+        c = gt(x, 2)
+        g, root = graph(assume(mux(c, x + 1, x - 1), lnot(c)))
+        run(g, [assume_mux_prune_rule()])
+        pruned = g.lookup(
+            ENode(ops.ASSUME, (), (g.add_expr(x - 1), g.add_expr(lnot(c))))
+        )
+        assert pruned is not None and g.find(pruned) == g.find(root)
+
+
+class TestAssumeTrueElim:
+    def test_always_true_constraint_discharges(self):
+        x = var("x", 8)
+        g, root = graph(assume(x + 1, gt(const(5), 2)))
+        g.rebuild()
+        run(g, [assume_true_elim_rule()])
+        assert g.find(root) == g.find(g.add_expr(x + 1))
+
+    def test_unknown_constraint_stays(self):
+        x = var("x", 8)
+        g, root = graph(assume(x + 1, gt(x, 2)))
+        run(g, [assume_true_elim_rule()])
+        assert g.find(root) != g.find(g.add_expr(x + 1))
+
+
+class TestPaperNegationExample:
+    def test_a_eq_zero_branch(self):
+        """a==0 ? a : -a  ==  a==0 ? 0 : -a  (Section IV-B)."""
+        a = var("a", 8)
+        g, root = graph(mux(eq(a, 0), a, -a))
+        run(g, assume_rules(), iters=5)
+        cond = g.add_expr(eq(a, 0))
+        zero = g.add_expr(const(0))
+        folded = g.lookup(ENode(ops.ASSUME, (), (g.find(zero), g.find(cond))))
+        assert folded is not None, "ASSUME(a, a==0) must fold to ASSUME(0, a==0)"

@@ -1,0 +1,76 @@
+"""Table II: condition rewriting turns Expr conditions into Constr form."""
+
+from repro.analysis import DatapathAnalysis, range_of
+from repro.egraph import EGraph, Runner
+from repro.intervals import IntervalSet
+from repro.ir import var
+from repro.ir.expr import assume, ge, gt, le, lnot, lt, ne, eq
+from repro.rewrites.condition import condition_rules
+from repro.rewrites.arith import arith_rules
+
+
+def saturate(expr, extra_rules=(), iters=6, **ranges):
+    g = EGraph([DatapathAnalysis(dict(ranges))])
+    root = g.add_expr(expr)
+    g.rebuild()
+    rules = condition_rules() + list(extra_rules)
+    Runner(g, rules, iter_limit=iters, node_limit=6000).run()
+    return g, root
+
+
+class TestTransformationRules:
+    def test_section_iv_c_example(self):
+        """ASSUME(a-b, a>b): rewriting a>b -> a-b>0 triggers eq. (4)."""
+        a, b = var("a", 8), var("b", 8)
+        g, root = saturate(assume(a - b, gt(a, b)))
+        assert range_of(g, root) == IntervalSet.of(1, 255)
+
+    def test_lt_variant(self):
+        a, b = var("a", 8), var("b", 8)
+        g, root = saturate(assume(a - b, lt(a, b)))
+        assert range_of(g, root) == IntervalSet.of(-255, -1)
+
+    def test_eq_variant(self):
+        a, b = var("a", 8), var("b", 8)
+        g, root = saturate(assume(a - b, eq(a, b)))
+        assert range_of(g, root).as_point() == 0
+
+    def test_le_needs_constant_fold(self):
+        """a <= b -> a < b+1: the +1 must constant-fold for Constr to see it."""
+        a = var("a", 8)
+        g, root = saturate(assume(a, le(a, 9)))
+        assert range_of(g, root) == IntervalSet.of(0, 9)
+
+    def test_ge_chain(self):
+        a = var("a", 8)
+        g, root = saturate(assume(a, ge(a, 9)))
+        assert range_of(g, root) == IntervalSet.of(9, 255)
+
+
+class TestInversionRules:
+    def test_paper_equation_9(self):
+        """ASSUME(ExpDiff, ~(ExpDiff>1)) refines to [0, 1] via two
+        sequential condition rewrites — exactly the Section V flow."""
+        ed = var("ExpDiff", 5)
+        g, root = saturate(assume(ed, lnot(gt(ed, 1))))
+        assert range_of(g, root) == IntervalSet.of(0, 1)
+
+    def test_not_lt(self):
+        a = var("a", 8)
+        g, root = saturate(assume(a, lnot(lt(a, 10))))
+        assert range_of(g, root) == IntervalSet.of(10, 255)
+
+    def test_not_eq(self):
+        a = var("a", 8)
+        g, root = saturate(assume(a, lnot(eq(a, 0))))
+        assert range_of(g, root) == IntervalSet.of(1, 255)
+
+    def test_not_ne(self):
+        a = var("a", 8)
+        g, root = saturate(assume(a, lnot(ne(a, 3))))
+        assert range_of(g, root).as_point() == 3
+
+    def test_not_le_with_arith(self):
+        a = var("a", 8)
+        g, root = saturate(assume(a, lnot(le(a, 100))), extra_rules=arith_rules())
+        assert range_of(g, root) == IntervalSet.of(101, 255)

@@ -1,0 +1,61 @@
+"""Section IV-D theoretical delay/area models: sanity and monotonicity."""
+
+import pytest
+
+from repro.ir import ops
+from repro.synth import area_model, delay_model
+
+
+WIDE_OPS = [ops.ADD, ops.SUB, ops.MUL, ops.LZC, ops.LT, ops.EQ, ops.MUX]
+
+
+@pytest.mark.parametrize("op", WIDE_OPS)
+def test_models_monotone_in_width(op):
+    for narrow, wide in ((4, 8), (8, 16), (16, 42)):
+        kw = dict(operand_widths=(narrow, narrow))
+        kw_wide = dict(operand_widths=(wide, wide))
+        assert delay_model(op, narrow, **kw) <= delay_model(op, wide, **kw_wide)
+        assert area_model(op, narrow, **kw) < area_model(op, wide, **kw_wide)
+
+
+def test_wiring_is_free():
+    for op in (ops.TRUNC, ops.SLICE, ops.CONCAT, ops.VAR, ops.CONST, ops.ASSUME):
+        assert delay_model(op, 42) == 0.0
+        assert area_model(op, 42) == 0.0
+
+
+def test_constant_shift_is_free():
+    assert delay_model(ops.SHR, 42, (42, 6), shift_levels=None) == 0.0
+    assert area_model(ops.SHR, 42, (42, 6), shift_levels=None) == 0.0
+
+
+def test_variable_shift_scales_with_levels():
+    one = delay_model(ops.SHR, 42, (42, 6), shift_levels=1)
+    five = delay_model(ops.SHR, 42, (42, 6), shift_levels=5)
+    assert five > one
+    assert area_model(ops.SHR, 42, (42, 6), shift_levels=5) > area_model(
+        ops.SHR, 42, (42, 6), shift_levels=1
+    )
+
+
+def test_const_operand_discounts():
+    full = delay_model(ops.ADD, 12, (12, 12))
+    inc = delay_model(ops.ADD, 12, (12, 1), const_operand=True)
+    assert inc < full
+    assert area_model(ops.ADD, 12, (12, 1), const_operand=True) < area_model(
+        ops.ADD, 12, (12, 12)
+    )
+
+
+def test_comparator_cheaper_than_adder():
+    assert delay_model(ops.LT, 1, (12, 12)) <= delay_model(ops.ADD, 13, (12, 12))
+
+
+def test_paper_scale_42_vs_12_bit_subtract():
+    """The case study's headline: narrow subtractors are much cheaper."""
+    wide_d = delay_model(ops.SUB, 42, (42, 42))
+    narrow_d = delay_model(ops.SUB, 12, (12, 12))
+    assert narrow_d < wide_d
+    assert area_model(ops.SUB, 12, (12, 12)) < 0.35 * area_model(
+        ops.SUB, 42, (42, 42)
+    )

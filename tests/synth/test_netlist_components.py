@@ -1,0 +1,161 @@
+"""Gate-level netlist: components vs brute force, STA, constant folding."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.synth import components as comp
+from repro.synth.netlist import Netlist, Signal
+
+
+def make_inputs(nl, widths):
+    return {name: nl.add_input(name, w) for name, w in widths.items()}
+
+
+class TestGatePrimitives:
+    def test_constant_folding(self):
+        nl = Netlist()
+        a = nl.add_input("a", 1)[0]
+        assert nl.g_and(a, nl.zero) == nl.zero
+        assert nl.g_and(a, nl.one) == a
+        assert nl.g_or(a, nl.zero) == a
+        assert nl.g_xor(a, a) == nl.zero
+        assert nl.g_not(nl.zero) == nl.one
+        assert len(nl.gates) == 0  # everything folded
+
+    def test_structural_hashing(self):
+        nl = Netlist()
+        a, b = nl.add_input("a", 1)[0], nl.add_input("b", 1)[0]
+        g1 = nl.g_and(a, b)
+        g2 = nl.g_and(b, a)  # symmetric: same gate
+        assert g1 == g2
+        assert len(nl.gates) == 1
+
+    def test_mux_gate(self):
+        nl = Netlist()
+        s, a, b = (nl.add_input(n, 1)[0] for n in "sab")
+        out = nl.g_mux(s, a, b)
+        nl.set_output("y", Signal([out]))
+        for sv, av, bv in itertools.product((0, 1), repeat=3):
+            got = nl.simulate({"s": sv, "a": av, "b": bv})["y"]
+            assert got == (av if sv else bv)
+
+
+@pytest.mark.parametrize("arch", comp.ADDER_ARCHS)
+@pytest.mark.parametrize("width", [1, 3, 4, 7, 8])
+def test_adders_exhaustive_small(arch, width):
+    nl = Netlist()
+    ins = make_inputs(nl, {"a": width, "b": width})
+    out, carry = comp.adder(nl, ins["a"], ins["b"], nl.zero, arch)
+    nl.set_output("s", Signal(out + [carry]))
+    step = max(1, (1 << width) // 16)
+    for a in range(0, 1 << width, step):
+        for b in range(0, 1 << width, step):
+            assert nl.simulate({"a": a, "b": b})["s"] == a + b
+
+
+@pytest.mark.parametrize("arch", comp.ADDER_ARCHS)
+def test_subtractor(arch):
+    nl = Netlist()
+    ins = make_inputs(nl, {"a": 6, "b": 6})
+    out, carry = comp.subtractor(nl, ins["a"], ins["b"], arch)
+    nl.set_output("d", Signal(out))
+    nl.set_output("no_borrow", Signal([carry]))
+    rng = random.Random(0)
+    for _ in range(200):
+        a, b = rng.randrange(64), rng.randrange(64)
+        result = nl.simulate({"a": a, "b": b})
+        assert result["d"] == (a - b) % 64
+        assert result["no_borrow"] == int(a >= b)
+
+
+def test_sklansky_is_log_depth():
+    for width in (8, 16, 32):
+        ripple, prefix = Netlist(), Netlist()
+        for nl in (ripple, prefix):
+            make_inputs(nl, {"a": width, "b": width})
+        r_out, _ = comp.ripple_adder(ripple, ripple.inputs["a"], ripple.inputs["b"], ripple.zero)
+        s_out, _ = comp.sklansky_adder(prefix, prefix.inputs["a"], prefix.inputs["b"], prefix.zero)
+        ripple.set_output("s", Signal(r_out))
+        prefix.set_output("s", Signal(s_out))
+        assert prefix.critical_path_delay() < ripple.critical_path_delay()
+        assert prefix.area() > ripple.area()  # the classic trade-off
+
+
+def test_less_than_signed_unsigned():
+    nl = Netlist()
+    ins = make_inputs(nl, {"a": 4, "b": 4})
+    unsigned = comp.less_than(nl, ins["a"], ins["b"], signed=False)
+    signed = comp.less_than(nl, ins["a"], ins["b"], signed=True)
+    nl.set_output("u", Signal([unsigned]))
+    nl.set_output("s", Signal([signed]))
+    for a in range(16):
+        for b in range(16):
+            got = nl.simulate({"a": a, "b": b})
+            assert got["u"] == int(a < b)
+            sa = a - 16 if a >= 8 else a
+            sb = b - 16 if b >= 8 else b
+            assert got["s"] == int(sa < sb)
+
+
+def test_barrel_shifter_right_with_fill():
+    nl = Netlist()
+    ins = make_inputs(nl, {"v": 8, "s": 3})
+    out = comp.barrel_shifter(nl, ins["v"], ins["s"], left=False, fill=nl.zero)
+    nl.set_output("y", Signal(out))
+    rng = random.Random(1)
+    for _ in range(200):
+        v, s = rng.randrange(256), rng.randrange(8)
+        assert nl.simulate({"v": v, "s": s})["y"] == v >> s
+
+
+def test_barrel_shifter_left():
+    nl = Netlist()
+    ins = make_inputs(nl, {"v": 8, "s": 3})
+    out = comp.barrel_shifter(nl, ins["v"], ins["s"], left=True, fill=nl.zero)
+    nl.set_output("y", Signal(out))
+    for v in (0, 1, 0x55, 0xFF):
+        for s in range(8):
+            assert nl.simulate({"v": v, "s": s})["y"] == (v << s) & 0xFF
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 5, 8, 11])
+def test_lzc_tree_exhaustive(width):
+    nl = Netlist()
+    ins = make_inputs(nl, {"v": width})
+    out = comp.lzc_tree(nl, ins["v"], max((width).bit_length(), 1) + 1)
+    nl.set_output("y", Signal(out))
+    for v in range(1 << width):
+        assert nl.simulate({"v": v})["y"] == width - v.bit_length(), v
+
+
+def test_array_multiplier():
+    nl = Netlist()
+    ins = make_inputs(nl, {"a": 5, "b": 5})
+    out = comp.array_multiplier(nl, ins["a"], ins["b"], 10)
+    nl.set_output("p", Signal(out))
+    for a in range(0, 32, 3):
+        for b in range(0, 32, 3):
+            assert nl.simulate({"a": a, "b": b})["p"] == a * b
+
+
+class TestTiming:
+    def test_arrival_monotone_along_gates(self):
+        nl = Netlist()
+        ins = make_inputs(nl, {"a": 4, "b": 4})
+        out, _ = comp.ripple_adder(nl, ins["a"], ins["b"], nl.zero)
+        nl.set_output("s", Signal(out))
+        arrival = nl.arrival_times()
+        for gate in nl.gates:
+            for i in gate.inputs:
+                assert arrival[gate.output] > arrival.get(i, 0.0)
+
+    def test_critical_tags_point_at_components(self):
+        nl = Netlist()
+        ins = make_inputs(nl, {"a": 8, "b": 8})
+        nl.push_tag("adder0")
+        out, _ = comp.ripple_adder(nl, ins["a"], ins["b"], nl.zero)
+        nl.pop_tag()
+        nl.set_output("s", Signal(out))
+        assert "adder0" in nl.critical_tags()

@@ -1,0 +1,113 @@
+"""BDD engine and the equivalence-checking strategy."""
+
+import pytest
+
+from repro.intervals import IntervalSet
+from repro.ir import abs_, assume, eq, gt, lzc, mux, trunc, var
+from repro.verify import BDD, BddLimitError, check_equivalent
+from repro.verify.bdd import BDD as BDDClass
+
+
+class TestBDD:
+    def test_terminals_and_vars(self):
+        bdd = BDD()
+        x = bdd.var(0)
+        assert bdd.apply_and(x, bdd.TRUE) == x
+        assert bdd.apply_and(x, bdd.FALSE) == bdd.FALSE
+        assert bdd.apply_or(x, bdd.TRUE) == bdd.TRUE
+        assert bdd.apply_xor(x, x) == bdd.FALSE
+        assert bdd.apply_not(bdd.apply_not(x)) == x
+
+    def test_hashconsing_canonical(self):
+        bdd = BDD()
+        x, y = bdd.var(0), bdd.var(1)
+        f1 = bdd.apply_or(bdd.apply_and(x, y), bdd.apply_and(x, bdd.apply_not(y)))
+        assert f1 == x  # (x&y)|(x&~y) reduces to x
+
+    def test_demorgan(self):
+        bdd = BDD()
+        x, y = bdd.var(0), bdd.var(1)
+        lhs = bdd.apply_not(bdd.apply_and(x, y))
+        rhs = bdd.apply_or(bdd.apply_not(x), bdd.apply_not(y))
+        assert lhs == rhs
+
+    def test_any_sat(self):
+        bdd = BDD()
+        x, y = bdd.var(0), bdd.var(1)
+        f = bdd.apply_and(x, bdd.apply_not(y))
+        model = bdd.any_sat(f)
+        assert model[0] == 1 and model[1] == 0
+        assert bdd.any_sat(bdd.FALSE) is None
+
+    def test_count_sat(self):
+        bdd = BDD()
+        x, y, z = (bdd.var(i) for i in range(3))
+        f = bdd.apply_or(x, bdd.apply_and(y, z))
+        # x | (y&z): 4 + 1 = 5 of 8 assignments
+        assert bdd.count_sat(f, 3) == 5
+
+    def test_node_limit(self):
+        bdd = BDDClass(node_limit=8)
+        with pytest.raises(BddLimitError):
+            f = bdd.TRUE
+            for i in range(10):
+                f = bdd.apply_xor(f, bdd.var(i))
+
+
+class TestCheckEquivalent:
+    def test_exhaustive_positive(self):
+        x = var("x", 6)
+        a = (x + x) >> 1
+        verdict = check_equivalent(a, x)
+        assert verdict.equivalent is True
+        assert verdict.method == "exhaustive"
+
+    def test_exhaustive_counterexample(self):
+        x = var("x", 6)
+        verdict = check_equivalent(x + 1, x)
+        assert verdict.equivalent is False
+        assert verdict.counterexample is not None
+
+    def test_bdd_proof_on_wide_inputs(self):
+        # 2 x 16-bit inputs: too big for exhaustive, fine for BDDs.
+        a, b = var("a", 16), var("b", 16)
+        lhs = mux(gt(a, b), a, b)
+        rhs = mux(gt(b, a), b, a)
+        verdict = check_equivalent(lhs, rhs, exhaustive_budget=1 << 10)
+        assert verdict.equivalent is True
+        assert verdict.method == "bdd"
+
+    def test_bdd_counterexample(self):
+        a, b = var("a", 16), var("b", 16)
+        verdict = check_equivalent(a + b, a | b, exhaustive_budget=1 << 10)
+        assert verdict.equivalent is False
+        env = verdict.counterexample
+        assert (env["a"] + env["b"]) != (env["a"] | env["b"])
+
+    def test_domain_constrained_equivalence(self):
+        """abs(x-128) == x-128 only under the constraint x >= 128."""
+        x = var("x", 8)
+        lhs, rhs = abs_(x - 128), x - 128
+        unconstrained = check_equivalent(lhs, rhs)
+        assert unconstrained.equivalent is False
+        constrained = check_equivalent(
+            lhs, rhs, {"x": IntervalSet.of(128, 255)}
+        )
+        assert constrained.equivalent is True
+
+    def test_assume_semantics_respected(self):
+        """Guarded assumes compare equal to the plain design."""
+        x = var("x", 8)
+        plain = mux(gt(x, 10), x - 10, 0)
+        assumed = mux(gt(x, 10), assume(x, gt(x, 10)) - 10, 0)
+        verdict = check_equivalent(plain, assumed)
+        assert verdict.equivalent is True
+
+    def test_paper_figure1_equivalence(self):
+        x, y = var("x", 8), var("y", 8)
+        wide = lzc(x + y, 9)
+        narrow = lzc((x + y) >> 7, 2)
+        ranges = {"x": IntervalSet.of(128, 255)}
+        assert check_equivalent(wide, narrow, ranges).equivalent is True
+        # Without the input constraint they differ.
+        assert check_equivalent(wide, narrow).equivalent is False
