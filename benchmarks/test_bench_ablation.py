@@ -23,6 +23,8 @@ from repro.ir import ops
 from repro.rtl import module_to_ir
 from repro.synth import min_delay_point
 
+pytestmark = pytest.mark.slow
+
 
 def _optimize(design, **overrides):
     config = OptimizerConfig(

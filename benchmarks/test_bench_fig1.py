@@ -9,9 +9,13 @@ the gate-level savings.
 
 from __future__ import annotations
 
+import pytest
+
 from benchmarks.common import run_design
 from repro.designs import DESIGNS
 from repro.ir import ops
+
+pytestmark = pytest.mark.slow
 
 _CACHE: dict = {}
 

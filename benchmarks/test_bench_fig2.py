@@ -21,6 +21,8 @@ from repro.designs import DESIGNS, fp_sub_dual_path_ir
 from repro.synth import min_delay_point
 from repro.verify import check_equivalent
 
+pytestmark = pytest.mark.slow
+
 _CACHE: dict = {}
 
 

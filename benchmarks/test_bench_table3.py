@@ -22,6 +22,8 @@ import pytest
 from benchmarks.common import run_design, table_row
 from repro.designs import DESIGNS
 
+pytestmark = pytest.mark.slow
+
 CASES = ["fp_sub", "float_to_unorm", "interpolation", "unorm_to_float"]
 
 _RESULTS: dict = {}

@@ -26,7 +26,12 @@ class AbsVal:
         return AbsVal(IntervalSet.top(), False)
 
     def join(self, other: "AbsVal") -> "AbsVal":
-        return AbsVal(self.iset.intersect(other.iset), self.total or other.total)
+        if self is other:
+            return self
+        total = self.total or other.total
+        if self.iset is other.iset:
+            return self if total == self.total else AbsVal(self.iset, total)
+        return AbsVal(self.iset.intersect(other.iset), total)
 
     def __repr__(self) -> str:
         tag = "total" if self.total else "partial"

@@ -51,8 +51,18 @@ class DatapathAnalysis(Analysis):
 
     name = ANALYSIS_NAME
 
+    #: Bound on the per-analysis ``make`` memo table.
+    MAKE_CACHE_CAP = 1 << 17
+
     def __init__(self, input_ranges: dict[str, IntervalSet] | None = None) -> None:
         self.input_ranges = dict(input_ranges or {})
+        # ``make`` is a pure function of (op, attrs, child data) for every
+        # operator except ASSUME (whose refinement reads constraint-class
+        # membership from the e-graph) and the leaves (cheap).  Rebuild
+        # re-runs ``make`` on mostly-unchanged e-nodes every iteration, so
+        # the hit rate is high.  AbsVal hashes cheaply: its IntervalSet is
+        # hash-consed with a cached hash.
+        self._make_cache: dict[tuple, AbsVal] = {}
 
     # ------------------------------------------------------------------- make
     def make(self, egraph: EGraph, enode: ENode) -> AbsVal:
@@ -76,6 +86,12 @@ class DatapathAnalysis(Analysis):
             )
             return AbsVal(guarded.iset.intersect(refinement), False)
 
+        key = (op, enode.attrs, tuple(kids))
+        cached = self._make_cache.get(key)
+        if cached is not None:
+            return cached
+
+        kid_isets = [k.iset for k in kids]
         if op is ops.MUX:
             cond, if_true, if_false = kids
             verdict = cond.iset.truthiness()
@@ -86,14 +102,16 @@ class DatapathAnalysis(Analysis):
                 or (verdict is False and if_false.total)
                 or (if_true.total and if_false.total)
             )
-            iset = iset_transfer(op, enode.attrs, [k.iset for k in kids])
-            return AbsVal(iset, total)
+        else:
+            total = all(k.total for k in kids) and defined_everywhere(
+                op, enode.attrs, kid_isets
+            )
+        result = AbsVal(iset_transfer(op, enode.attrs, kid_isets), total)
 
-        total = all(k.total for k in kids) and defined_everywhere(
-            op, enode.attrs, [k.iset for k in kids]
-        )
-        iset = iset_transfer(op, enode.attrs, [k.iset for k in kids])
-        return AbsVal(iset, total)
+        if len(self._make_cache) >= self.MAKE_CACHE_CAP:
+            self._make_cache.clear()
+        self._make_cache[key] = result
+        return result
 
     # ------------------------------------------------------------------- join
     def join(self, left: AbsVal, right: AbsVal) -> AbsVal:

@@ -8,13 +8,32 @@ from repro.ir import ops
 from repro.ir.ops import Op
 
 
+#: Memo table for :func:`iset_transfer`.  Interval sets are hash-consed, so
+#: keys hash cheaply; the same (op, attrs, child ranges) triple recurs
+#: constantly during rebuild and the bound keeps worst-case memory flat.
+_TRANSFER_CACHE: dict[tuple, IntervalSet] = {}
+_TRANSFER_CACHE_CAP = 1 << 17
+
+
 def iset_transfer(op: Op, attrs: tuple, kids: list[IntervalSet]) -> IntervalSet:
-    """Abstract one operator over already-computed child ranges.
+    """Abstract one operator over already-computed child ranges (memoized).
 
     Handles every IR operator except the leaves (VAR/CONST) and ASSUME
     (whose refinement needs e-graph context).  MUX uses the condition's
     truthiness to drop provably-unreachable branches.
     """
+    key = (op, attrs, tuple(kids))
+    cached = _TRANSFER_CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = _iset_transfer(op, attrs, kids)
+    if len(_TRANSFER_CACHE) >= _TRANSFER_CACHE_CAP:
+        _TRANSFER_CACHE.clear()
+    _TRANSFER_CACHE[key] = result
+    return result
+
+
+def _iset_transfer(op: Op, attrs: tuple, kids: list[IntervalSet]) -> IntervalSet:
     if op is ops.MUX:
         cond, if_true, if_false = kids
         verdict = cond.truthiness()

@@ -69,6 +69,19 @@ class EGraph:
         self._hashcons: dict[ENode, int] = {}
         self._pending: list[tuple[ENode, int]] = []
         self._analysis_pending: list[tuple[ENode, int]] = []
+        #: Incremental size counter, kept in sync by ``add_enode``/``union``/
+        #: ``_recanonicalize_classes`` so the runner's per-match node-limit
+        #: check is O(1) instead of an O(classes) sweep.
+        self._node_count = 0
+        #: Persistent per-op index: op -> {e-node -> owning class id}.  Kept
+        #: current on add, repaired for dirty classes during ``rebuild``.
+        #: Entries may go stale (non-canonical keys / absorbed class ids)
+        #: between a union and the next rebuild; readers resolve through
+        #: ``find`` and dedup canonicalized entries.
+        self._op_index: dict[Op, dict[ENode, int]] = {}
+        #: Classes whose node sets may hold non-canonical nodes; only these
+        #: are re-canonicalized on rebuild.
+        self._dirty_classes: set[int] = set()
         self.analyses: tuple[Analysis, ...] = tuple(analyses)
         #: Incremented on every successful union; rewrite runners use this to
         #: detect saturation.
@@ -86,25 +99,40 @@ class EGraph:
 
     @property
     def node_count(self) -> int:
-        """Total number of e-nodes across all classes."""
-        return sum(len(c.nodes) for c in self._classes.values())
+        """Total number of e-nodes across all classes (O(1))."""
+        return self._node_count
+
+    @property
+    def is_clean(self) -> bool:
+        """True when no unions are pending — ids and index entries are
+        canonical (holds directly after :meth:`rebuild`)."""
+        return not self._pending and not self._dirty_classes
 
     def classes(self) -> Iterator[EClass]:
         """Iterate canonical e-classes (snapshot; safe to mutate during)."""
         return iter(list(self._classes.values()))
 
     def __getitem__(self, class_id: int) -> EClass:
-        return self._classes[self.find(class_id)]
+        return self._classes[self._uf.find(class_id)]
 
     def data(self, class_id: int, analysis: str) -> Any:
         """Analysis data of the class, by analysis name."""
-        return self._classes[self.find(class_id)].data[analysis]
+        return self._classes[self._uf.find(class_id)].data[analysis]
 
     def set_data(self, class_id: int, analysis: str, value: Any) -> None:
-        """Overwrite analysis data (used to seed input assumptions)."""
-        cls = self._classes[self.find(class_id)]
+        """Overwrite analysis data (used to seed input assumptions).
+
+        ``modify`` re-runs on the class itself — seeding a range that proves
+        the class constant must materialize the CONST node — and the parents
+        are requeued so the new data propagates upward on the next rebuild.
+        """
+        root = self.find(class_id)
+        cls = self._classes[root]
         cls.data[analysis] = value
         self._analysis_pending.extend(cls.parents)
+        for a in self.analyses:
+            if a.name == analysis:
+                a.modify(self, root)
 
     # ------------------------------------------------------------------- add
     def add_enode(self, enode: ENode) -> int:
@@ -117,6 +145,8 @@ class EGraph:
         eclass = EClass(id=class_id, nodes={enode})
         self._classes[class_id] = eclass
         self._hashcons[enode] = class_id
+        self._node_count += 1
+        self._op_index.setdefault(enode.op, {})[enode] = class_id
         for child in set(enode.children):
             self._classes[self._uf.find(child)].parents.append((enode, class_id))
         for analysis in self.analyses:
@@ -165,12 +195,19 @@ class EGraph:
         return None
 
     def nodes_by_op(self) -> dict[Op, list[tuple[int, ENode]]]:
-        """Index op -> [(class id, e-node)] over canonical classes."""
-        index: dict[Op, list[tuple[int, ENode]]] = {}
-        for eclass in self._classes.values():
-            for node in eclass.nodes:
-                index.setdefault(node.op, []).append((eclass.id, node))
-        return index
+        """Index op -> [(class id, e-node)], from the persistent op-index.
+
+        This is a cheap per-op snapshot of :attr:`_op_index` rather than a
+        full rescan of every class's node set.  Directly after ``rebuild``
+        all entries are canonical; between rebuilds class ids may be stale
+        (resolve through :meth:`find`, as :func:`~repro.egraph.pattern.ematch`
+        does).
+        """
+        return {
+            op: [(cid, node) for node, cid in sub.items()]
+            for op, sub in self._op_index.items()
+            if sub
+        }
 
     # ------------------------------------------------------------------ union
     def union(self, a: int, b: int) -> int:
@@ -187,19 +224,38 @@ class EGraph:
         # may now be congruent to a parent of the surviving class.
         self._pending.extend(gone.parents)
 
+        keep_changed = gone_changed = False
         for analysis in self.analyses:
             old_keep = keep.data[analysis.name]
             old_gone = gone.data[analysis.name]
-            keep.data[analysis.name] = analysis.join(old_keep, old_gone)
-        # Parents are requeued unconditionally: even when the joined data is
-        # unchanged, the merged class has new *members*, and the ASSUME
-        # transfer function (eq. (4)) inspects constraint-class membership —
-        # a freshly merged `a-b > 0` e-node must refine its ASSUME parents
-        # (Section IV-C's condition-rewriting flow).
-        self._analysis_pending.extend(keep.parents)
-        self._analysis_pending.extend(gone.parents)
+            joined = analysis.join(old_keep, old_gone)
+            keep.data[analysis.name] = joined
+            keep_changed = keep_changed or joined != old_keep
+            gone_changed = gone_changed or joined != old_gone
+        # A side's parents are requeued when the joined data differs from
+        # what that side's parents last saw.  ASSUME parents are requeued
+        # *unconditionally*: even with unchanged data the merged class has
+        # new members, and the ASSUME transfer function (eq. (4)) inspects
+        # constraint-class membership — a freshly merged `a-b > 0` e-node
+        # must refine its ASSUME parents (Section IV-C's condition-rewriting
+        # flow).
+        pend = self._analysis_pending
+        for changed, parents in ((keep_changed, keep.parents), (gone_changed, gone.parents)):
+            if changed:
+                pend.extend(parents)
+            else:
+                pend.extend(p for p in parents if p[0].op is ops.ASSUME)
 
+        # Track staleness for the incremental rebuild: the merged class and
+        # every class owning a node that references the absorbed id need
+        # their node sets (and op-index entries) re-canonicalized.
+        self._dirty_classes.add(root)
+        for _parent, pid in gone.parents:
+            self._dirty_classes.add(pid)
+
+        before = len(keep.nodes)
         keep.nodes |= gone.nodes
+        self._node_count += len(keep.nodes) - before - len(gone.nodes)
         keep.parents.extend(gone.parents)
         for analysis in self.analyses:
             analysis.modify(self, root)
@@ -216,7 +272,10 @@ class EGraph:
         unions = 0
         while self._pending or self._analysis_pending:
             while self._pending:
-                todo, self._pending = self._pending, []
+                # Parents are requeued unconditionally on every union, so the
+                # worklists accumulate heavy duplication — dedup at drain
+                # time (order-preserving) before paying for repair work.
+                todo, self._pending = list(dict.fromkeys(self._pending)), []
                 for enode, class_id in todo:
                     self._hashcons.pop(enode, None)
                     canon = enode.canonical(self._uf.find)
@@ -228,6 +287,7 @@ class EGraph:
                     self._hashcons[canon] = self._uf.find(class_id)
 
             budget = analysis_budget
+            self._analysis_pending = list(dict.fromkeys(self._analysis_pending))
             while self._analysis_pending and budget:
                 budget -= 1
                 enode, class_id = self._analysis_pending.pop()
@@ -249,14 +309,44 @@ class EGraph:
         return unions
 
     def _recanonicalize_classes(self) -> None:
-        """Re-canonicalize every class's node set and parent list."""
+        """Re-canonicalize node sets, parent lists and op-index entries.
+
+        Only classes marked dirty by ``union`` are touched: a class's node
+        set can only go stale when one of its children's classes is absorbed
+        (it is then a parent of the absorbed class) or when it absorbs
+        another class itself — both paths mark it dirty.
+        """
+        if not self._dirty_classes:
+            return
         find = self._uf.find
-        for eclass in self._classes.values():
-            eclass.nodes = {n.canonical(find) for n in eclass.nodes}
+        dirty_roots = {find(cid) for cid in self._dirty_classes}
+        self._dirty_classes.clear()
+
+        touched: list[tuple[EClass, set[ENode]]] = []
+        for root in dirty_roots:
+            eclass = self._classes[root]
+            old_nodes = eclass.nodes
+            eclass.nodes = {n.canonical(find) for n in old_nodes}
+            self._node_count += len(eclass.nodes) - len(old_nodes)
             fresh_parents: dict[ENode, int] = {}
             for enode, pid in eclass.parents:
                 fresh_parents[enode.canonical(find)] = find(pid)
             eclass.parents = list(fresh_parents.items())
+            touched.append((eclass, old_nodes))
+
+        # Op-index repair in two passes: drop every stale key first, then
+        # re-insert the canonical ones — a stale key of one class can be the
+        # canonical key of another, so interleaving would delete live
+        # entries.
+        op_index = self._op_index
+        for _eclass, old_nodes in touched:
+            for node in old_nodes:
+                sub = op_index.get(node.op)
+                if sub is not None:
+                    sub.pop(node, None)
+        for eclass, _old_nodes in touched:
+            for node in eclass.nodes:
+                op_index.setdefault(node.op, {})[node] = eclass.id
 
     # ----------------------------------------------------------------- checks
     def check_invariants(self) -> None:
@@ -278,6 +368,29 @@ class EGraph:
                 if canon in seen:
                     assert seen[canon] == class_id, f"congruence violated at {canon}"
                 seen[canon] = class_id
+
+        # Incremental counters must agree with a full recomputation.
+        swept = sum(len(c.nodes) for c in self._classes.values())
+        assert self._node_count == swept, (
+            f"node_count counter {self._node_count} != swept {swept}"
+        )
+        assert self.class_count == len(self._classes)
+
+        # The persistent op-index must agree with a full rescan: canonical
+        # keys only, owned by the right op, resolving to the owning class.
+        expected: dict[ENode, int] = {}
+        for class_id, eclass in self._classes.items():
+            for node in eclass.nodes:
+                expected[node] = class_id
+        indexed: dict[ENode, int] = {}
+        for op, sub in self._op_index.items():
+            for node, class_id in sub.items():
+                assert node.op is op, f"op-index files {node} under {op}"
+                assert node.canonical(find) == node, (
+                    f"stale op-index key {node} after rebuild"
+                )
+                indexed[node] = find(class_id)
+        assert indexed == expected, "op-index disagrees with class sweep"
 
     # ------------------------------------------------------------ extraction
     def any_expr(self, class_id: int) -> Expr:

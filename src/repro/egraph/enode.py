@@ -11,29 +11,65 @@ order-insensitive and duplicate-free by construction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.ir import ops
 from repro.ir.ops import Op
 
 
-@dataclass(frozen=True, slots=True)
 class ENode:
-    """One operator application over e-class ids."""
+    """One operator application over e-class ids.
+
+    Immutable by convention, with the hash computed once at construction —
+    e-nodes are hashed constantly (hashcons, op-index, worklist dedup,
+    analysis memo keys) and the cached hash keeps those lookups cheap.
+    """
+
+    __slots__ = ("op", "attrs", "children", "_hash")
 
     op: Op
-    attrs: tuple = ()
-    children: tuple[int, ...] = ()
+    attrs: tuple
+    children: tuple[int, ...]
+
+    def __init__(self, op: Op, attrs: tuple = (), children: tuple[int, ...] = ()) -> None:
+        self.op = op
+        self.attrs = attrs
+        self.children = children
+        self._hash = hash((op, attrs, children))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, ENode):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.op == other.op
+            and self.attrs == other.attrs
+            and self.children == other.children
+        )
 
     def canonical(self, find) -> "ENode":
-        """Rewrite child ids through ``find`` (a callable id -> root id)."""
-        if not self.children:
+        """Rewrite child ids through ``find`` (a callable id -> root id).
+
+        Returns ``self`` (no allocation) when every child is already
+        canonical — the common case on a freshly rebuilt graph.
+        """
+        children = self.children
+        if not children:
             return self
         if self.op is ops.ASSUME:
-            head = find(self.children[0])
-            tail = tuple(sorted({find(c) for c in self.children[1:]}))
-            return ENode(self.op, self.attrs, (head,) + tail)
-        return ENode(self.op, self.attrs, tuple(find(c) for c in self.children))
+            head = find(children[0])
+            tail = tuple(sorted({find(c) for c in children[1:]}))
+            fresh = (head,) + tail
+            if fresh == children:
+                return self
+            return ENode(self.op, self.attrs, fresh)
+        fresh = tuple(find(c) for c in children)
+        if fresh == children:
+            return self
+        return ENode(self.op, self.attrs, fresh)
 
     @property
     def is_leaf(self) -> bool:

@@ -15,6 +15,7 @@ Cost functions are pluggable; the delay/area model of the paper lives in
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Iterable
 
 from repro.egraph.egraph import EGraph
@@ -79,22 +80,41 @@ class Extractor:
         return self.cost_fn.enode_cost(self.egraph, class_id, enode, child_costs)
 
     def _run_fixpoint(self) -> None:
+        """Parent-driven worklist to the best-cost fixpoint.
+
+        Every class is visited once bottom-up (creation order approximates a
+        topological order), and a class is revisited only when one of its
+        children improved — instead of whole-graph sweeps repeated until
+        quiescence.
+        """
         find = self.egraph.find
-        changed = True
-        while changed:
-            changed = False
-            for eclass in self.egraph.classes():
-                root = find(eclass.id)
-                current = self._best.get(root)
-                for enode in eclass.nodes:
-                    cost = self._enode_cost(root, enode)
-                    if cost is None:
-                        continue
-                    if current is None or cost < current[0]:
-                        current = (cost, enode)
-                        changed = True
-                if current is not None:
-                    self._best[root] = current
+        pending: deque[int] = deque()
+        queued: set[int] = set()
+        for eclass in self.egraph.classes():
+            pending.append(eclass.id)
+            queued.add(eclass.id)
+        while pending:
+            class_id = pending.popleft()
+            queued.discard(class_id)
+            root = find(class_id)
+            eclass = self.egraph[root]
+            current = self._best.get(root)
+            improved = False
+            for enode in eclass.nodes:
+                cost = self._enode_cost(root, enode)
+                if cost is None:
+                    continue
+                if current is None or cost < current[0]:
+                    current = (cost, enode)
+                    improved = True
+            if not improved:
+                continue
+            self._best[root] = current
+            for _enode, pid in eclass.parents:
+                parent = find(pid)
+                if parent not in queued:
+                    pending.append(parent)
+                    queued.add(parent)
 
     # ---------------------------------------------------------------- queries
     def cost_of(self, class_id: int) -> Any:

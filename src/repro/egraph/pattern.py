@@ -246,11 +246,25 @@ def ematch(
         raise ValueError("a bare pattern variable matches everything")
     if index is None:
         index = egraph.nodes_by_op()
+    # The persistent index may hold stale entries for classes absorbed since
+    # the last rebuild; canonicalize and dedup so each (root, e-node) pair is
+    # matched exactly once instead of yielding duplicate environments.  On a
+    # clean (just-rebuilt) graph every entry is already canonical and unique,
+    # so the canonicalization and dedup are skipped entirely.
+    clean = egraph.is_clean
+    variadic = pattern.op.arity is None
+    seen: set[tuple[int, ENode]] = set()
     for class_id, enode in index.get(pattern.op, ()):
-        root = egraph.find(class_id)
-        if pattern.op.arity is None and len(enode.children) != len(pattern.children):
+        if variadic and len(enode.children) != len(pattern.children):
             continue
-        enode = enode.canonical(egraph.find)
+        if clean:
+            root = class_id
+        else:
+            root = egraph.find(class_id)
+            enode = enode.canonical(egraph.find)
+            if (root, enode) in seen:
+                continue
+            seen.add((root, enode))
         for env in _match_node(egraph, pattern, enode, {}):
             results.append((root, env))
             if len(results) >= limit:

@@ -31,15 +31,37 @@ class StopReason(Enum):
 
 @dataclass
 class IterationStats:
-    """Per-iteration bookkeeping (sizes match the paper's Section V stats)."""
+    """Per-iteration bookkeeping (sizes match the paper's Section V stats).
+
+    Sizes are recorded both at iteration start (``*_before``) and after the
+    rebuild (``*_after``), so real per-iteration growth is reported instead
+    of the start-of-iteration snapshot being silently overwritten.
+    """
 
     index: int
-    nodes: int
-    classes: int
+    nodes_before: int
+    classes_before: int
+    nodes_after: int = 0
+    classes_after: int = 0
     applied: dict[str, int] = field(default_factory=dict)
     search_time: float = 0.0
     apply_time: float = 0.0
     rebuild_time: float = 0.0
+
+    @property
+    def nodes(self) -> int:
+        """Size after the iteration's rebuild (backwards-compatible alias)."""
+        return self.nodes_after
+
+    @property
+    def classes(self) -> int:
+        """Classes after the iteration's rebuild (backwards-compatible)."""
+        return self.classes_after
+
+    @property
+    def node_growth(self) -> int:
+        """E-nodes added by this iteration."""
+        return self.nodes_after - self.nodes_before
 
 
 @dataclass
@@ -60,10 +82,11 @@ class RunnerReport:
 
     def summary(self) -> str:
         """One-line human summary."""
+        grown = sum(it.node_growth for it in self.iterations)
         return (
-            f"{len(self.iterations)} iterations, {self.nodes} nodes, "
-            f"{self.classes} classes, stopped: {self.stop_reason.value}, "
-            f"{self.total_time:.2f}s"
+            f"{len(self.iterations)} iterations, {self.nodes} nodes "
+            f"(+{grown} grown), {self.classes} classes, "
+            f"stopped: {self.stop_reason.value}, {self.total_time:.2f}s"
         )
 
 
@@ -102,6 +125,7 @@ class Runner:
         node_limit: int = 50_000,
         time_limit: float = 120.0,
         scheduler: BackoffScheduler | None = None,
+        check_invariants: bool = False,
     ) -> None:
         self.egraph = egraph
         self.rules = list(rules)
@@ -109,20 +133,32 @@ class Runner:
         self.node_limit = node_limit
         self.time_limit = time_limit
         self.scheduler = scheduler if scheduler is not None else BackoffScheduler()
+        #: Assert e-graph invariants after every rebuild (tests only — the
+        #: check is a full sweep).
+        self.check_invariants = check_invariants
         self._spent_once_rules: set[str] = set()
 
     def run(self) -> RunnerReport:
-        """Run to saturation or limits; the e-graph is mutated in place."""
+        """Run to saturation or limits; the e-graph is mutated in place.
+
+        The time budget is a *deadline* threaded through the search and
+        apply loops, so one slow phase cannot blow arbitrarily past
+        ``time_limit`` — the run stops mid-iteration (after a rebuild that
+        leaves the e-graph consistent) with ``StopReason.TIME_LIMIT``.
+        """
         start = time.perf_counter()
+        deadline = start + self.time_limit
         iterations: list[IterationStats] = []
-        stop = StopReason.ITERATION_LIMIT
+        stop: StopReason | None = None
 
         self.egraph.rebuild()
+        if self.check_invariants:
+            self.egraph.check_invariants()
         for iteration in range(self.iter_limit):
             stats = IterationStats(
                 index=iteration,
-                nodes=self.egraph.node_count,
-                classes=self.egraph.class_count,
+                nodes_before=self.egraph.node_count,
+                classes_before=self.egraph.class_count,
             )
             version_before = self.egraph.version
             index = self.egraph.nodes_by_op()
@@ -131,6 +167,9 @@ class Runner:
             t0 = time.perf_counter()
             matches: list[tuple[Rewrite, list[tuple[int, dict]]]] = []
             for rule in self.rules:
+                if time.perf_counter() > deadline:
+                    stop = StopReason.TIME_LIMIT
+                    break
                 if rule.once and rule.name in self._spent_once_rules:
                     continue
                 if not self.scheduler.enabled(rule, iteration):
@@ -143,42 +182,51 @@ class Runner:
 
             # --- apply phase --------------------------------------------
             t0 = time.perf_counter()
-            for rule, found in matches:
-                applied = 0
-                for class_id, env in found:
-                    if rule.apply(self.egraph, class_id, env):
-                        applied += 1
-                    if self.egraph.node_count > self.node_limit:
+            if stop is None:
+                for rule, found in matches:
+                    applied = 0
+                    for class_id, env in found:
+                        if rule.apply(self.egraph, class_id, env):
+                            applied += 1
+                        if self.egraph.node_count > self.node_limit:
+                            stop = StopReason.NODE_LIMIT
+                            break
+                        if time.perf_counter() > deadline:
+                            stop = StopReason.TIME_LIMIT
+                            break
+                    if applied:
+                        stats.applied[rule.name] = applied
+                        if rule.once:
+                            self._spent_once_rules.add(rule.name)
+                    if stop is not None:
                         break
-                if applied:
-                    stats.applied[rule.name] = applied
-                    if rule.once:
-                        self._spent_once_rules.add(rule.name)
-                if self.egraph.node_count > self.node_limit:
-                    break
             stats.apply_time = time.perf_counter() - t0
 
-            # --- rebuild phase ------------------------------------------
+            # --- rebuild phase (always: leave the graph consistent) -----
             t0 = time.perf_counter()
             self.egraph.rebuild()
             stats.rebuild_time = time.perf_counter() - t0
 
-            stats.nodes = self.egraph.node_count
-            stats.classes = self.egraph.class_count
+            stats.nodes_after = self.egraph.node_count
+            stats.classes_after = self.egraph.class_count
             iterations.append(stats)
+            if self.check_invariants:
+                self.egraph.check_invariants()
 
+            if stop is not None:
+                break
             if self.egraph.version == version_before:
                 stop = StopReason.SATURATED
                 break
             if self.egraph.node_count > self.node_limit:
                 stop = StopReason.NODE_LIMIT
                 break
-            if time.perf_counter() - start > self.time_limit:
+            if time.perf_counter() > deadline:
                 stop = StopReason.TIME_LIMIT
                 break
 
         return RunnerReport(
-            stop_reason=stop,
+            stop_reason=stop if stop is not None else StopReason.ITERATION_LIMIT,
             iterations=iterations,
             total_time=time.perf_counter() - start,
         )

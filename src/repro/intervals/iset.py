@@ -6,6 +6,12 @@ e-class analysis data of the paper (Section III-B): a conservative
 over-approximation of every non-``*`` evaluation of the expressions in an
 e-class.
 
+Instances are hash-consed: constructing a set whose canonical parts tuple was
+seen before returns the *same* object, so the equality-saturation hot path
+(which recomputes identical ranges millions of times) compares and hashes
+mostly by identity.  The intern table is a bounded cache — clearing it is
+always sound because ``__eq__`` stays structural.
+
 All transfer functions are *sound*: for concrete values ``a in A`` and
 ``b in B``, ``op(a, b) in A.op(B)``.  The test-suite checks this exhaustively
 on small sets and by randomized sampling (hypothesis) on large ones.
@@ -13,7 +19,6 @@ on small sets and by randomized sampling (hypothesis) on large ones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
 from repro.intervals.bitops import max_and, max_or, max_xor, min_and, min_or, min_xor
@@ -69,11 +74,40 @@ def _coalesce(parts: tuple[Interval, ...], cap: int) -> tuple[Interval, ...]:
     return tuple(items)
 
 
-@dataclass(frozen=True, slots=True)
+#: Intern table mapping canonical parts tuples to their unique instance.
+_INTERN: dict[tuple[Interval, ...], "IntervalSet"] = {}
+_INTERN_CAP = 1 << 16
+
+
 class IntervalSet:
-    """Immutable canonical union of integer intervals."""
+    """Immutable canonical union of integer intervals (hash-consed)."""
+
+    __slots__ = ("parts", "_hash")
 
     parts: tuple[Interval, ...]
+
+    def __new__(cls, parts: Iterable[Interval] = ()) -> "IntervalSet":
+        parts = tuple(parts)
+        cached = _INTERN.get(parts)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        self.parts = parts
+        self._hash = hash(parts)
+        if len(_INTERN) >= _INTERN_CAP:
+            _INTERN.clear()
+        _INTERN[parts] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # ----------------------------------------------------------- constructors
     @staticmethod
@@ -185,6 +219,14 @@ class IntervalSet:
         return IntervalSet.from_intervals(self.parts + other.parts)
 
     def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        # Identity/TOP fast paths: interning makes `is` checks meaningful and
+        # the rebuild hot loop intersects with TOP and with itself constantly.
+        if self is other:
+            return self
+        if self.is_top or other.is_empty:
+            return other
+        if other.is_top or self.is_empty:
+            return self
         pieces = []
         for p in self.parts:
             for q in other.parts:

@@ -36,6 +36,9 @@ class OptimizerConfig:
     enable_condition_rewriting: bool = True
     #: verify the optimized design against the original after extraction.
     verify: bool = True
+    #: assert e-graph invariants after every runner iteration (tests only;
+    #: the check sweeps the whole graph).
+    check_invariants: bool = False
     #: extraction objective key (delay, area) -> ordering key.
     extraction_key = staticmethod(default_key)
 
@@ -137,6 +140,7 @@ class DatapathOptimizer:
             iter_limit=self.config.iter_limit,
             node_limit=self.config.node_limit,
             time_limit=self.config.time_limit,
+            check_invariants=self.config.check_invariants,
         )
         report = runner.run()
 

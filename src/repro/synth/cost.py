@@ -70,11 +70,20 @@ class DelayAreaCost(CostFunction):
 
     def __init__(self, key: Callable[[float, float], tuple] | None = None) -> None:
         self.key = key if key is not None else lexicographic_key
+        # The extractor's worklist revisits an e-node whenever a child's
+        # cost improves; the node's *own* delay/area only depends on
+        # analysis data that is frozen during extraction, so cache it.
+        self._model_cache: dict[tuple[int, ENode], tuple[float, float]] = {}
 
     def enode_cost(
         self, egraph: EGraph, class_id: int, enode: ENode, child_costs: list
     ) -> DelayArea:
-        own_delay, own_area = self._model(egraph, class_id, enode)
+        cache_key = (class_id, enode)
+        own = self._model_cache.get(cache_key)
+        if own is None:
+            own = self._model(egraph, class_id, enode)
+            self._model_cache[cache_key] = own
+        own_delay, own_area = own
         delay = own_delay + max((c.delay for c in child_costs), default=0.0)
         area = own_area + sum(c.area for c in child_costs)
         return DelayArea(delay, area, self.key(delay, area))

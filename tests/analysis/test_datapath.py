@@ -69,6 +69,33 @@ class TestJoinIsIntersection:
         assert range_of(g, parent) == IntervalSet.of(1, 4)
 
 
+class TestSetData:
+    def test_seeding_constant_range_materializes_const(self):
+        """set_data must re-run modify on the class itself: seeding a range
+        that proves the class constant materializes the CONST node."""
+        from repro.analysis import AbsVal
+        from repro.analysis.datapath import ANALYSIS_NAME
+
+        g = graph()
+        x = g.add_expr(var("x", 8))
+        assert g.class_const(x) is None
+        g.set_data(x, ANALYSIS_NAME, AbsVal(IntervalSet.point(7), True))
+        g.rebuild()
+        assert g.class_const(x) == 7
+
+    def test_seeded_range_propagates_to_parents(self):
+        from repro.analysis import AbsVal
+        from repro.analysis.datapath import ANALYSIS_NAME
+
+        g = graph()
+        x = g.add_expr(var("x", 8))
+        parent = g.add_expr(var("x", 8) + 1)
+        g.set_data(x, ANALYSIS_NAME, AbsVal(IntervalSet.point(9), True))
+        g.rebuild()
+        assert g.class_const(parent) == 10
+        g.check_invariants()
+
+
 class TestConstantFolding:
     def test_total_singleton_folds_to_const(self):
         g = graph()

@@ -66,6 +66,70 @@ def test_congruence_is_maintained(load):
             assert seen.setdefault(canon, eclass.id) == eclass.id
 
 
+def _naive_node_count(g: EGraph) -> int:
+    return sum(len(c.nodes) for c in g.classes())
+
+
+def _naive_nodes_by_op(g: EGraph) -> dict:
+    """The old full-rescan index, as {(op, node) -> canonical class}."""
+    index = {}
+    for eclass in g.classes():
+        for node in eclass.nodes:
+            index[(node.op, node)] = eclass.id
+    return index
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload())
+def test_incremental_counters_match_full_recomputation(load):
+    """node_count/class_count counters == O(classes) sweeps after every
+    rebuild of a randomized add/union sequence."""
+    n_leaves, steps = load
+    g = EGraph()
+    ids = [g.add_node(ops.VAR, (f"v{i}", 4)) for i in range(n_leaves)]
+    unary = [ops.NEG, ops.ABS, ops.LNOT]
+    for kind, x, y in steps:
+        a, b = ids[x % len(ids)], ids[y % len(ids)]
+        if kind == 0:
+            ids.append(g.add_node(unary[x % 3], (), (g.find(a),)))
+        elif kind == 1:
+            ids.append(g.add_node(ops.ADD, (), (g.find(a), g.find(b))))
+        else:
+            g.union(a, b)
+            g.rebuild()
+            assert g.node_count == _naive_node_count(g)
+        assert g.node_count == _naive_node_count(g)
+    g.rebuild()
+    assert g.node_count == _naive_node_count(g)
+    assert g.class_count == len(list(g.classes()))
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload())
+def test_persistent_op_index_matches_full_rescan(load):
+    """The persistent per-op index agrees with the old full rescan (and
+    holds only canonical entries) after rebuild."""
+    n_leaves, steps = load
+    g = EGraph()
+    ids = [g.add_node(ops.VAR, (f"v{i}", 4)) for i in range(n_leaves)]
+    for kind, x, y in steps:
+        a, b = ids[x % len(ids)], ids[y % len(ids)]
+        if kind == 0:
+            ids.append(g.add_node(ops.NEG, (), (g.find(a),)))
+        elif kind == 1:
+            ids.append(g.add_node(ops.ADD, (), (g.find(a), g.find(b))))
+        else:
+            g.union(a, b)
+    g.rebuild()
+    indexed = {
+        (op, node): g.find(cid)
+        for op, entries in g.nodes_by_op().items()
+        for cid, node in entries
+    }
+    assert indexed == _naive_nodes_by_op(g)
+    g.check_invariants()  # cross-checks index/hashcons/counters too
+
+
 def test_rebuild_is_idempotent():
     g = EGraph()
     a = g.add_node(ops.VAR, ("a", 4))

@@ -76,6 +76,45 @@ class TestRunner:
         text = report.summary()
         assert "nodes" in text and "classes" in text
 
+    def test_iteration_stats_record_before_and_after(self):
+        g = EGraph()
+        g.add_expr((var("x", 4) * 2) + 0)
+        report = Runner(g, BASIC_RULES, iter_limit=5).run()
+        growing = report.iterations[0]
+        # The first iteration applies rewrites, so the graph really grows —
+        # and both sides of the growth are visible, not overwritten.
+        assert growing.nodes_before < growing.nodes_after
+        assert growing.node_growth == growing.nodes_after - growing.nodes_before
+        for stats in report.iterations:
+            assert stats.nodes == stats.nodes_after
+            assert stats.classes == stats.classes_after
+
+    def test_time_limit_stops_mid_iteration(self):
+        # A zero budget must be noticed inside the very first search loop,
+        # not only after a full (potentially unbounded) iteration.
+        rules = [
+            rewrite("assoc", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"),
+            rewrite("comm", "(+ ?a ?b)", "(+ ?b ?a)"),
+        ]
+        g = EGraph()
+        e = var("x0", 4)
+        for i in range(1, 8):
+            e = e + var(f"x{i}", 4)
+        g.add_expr(e)
+        report = Runner(g, rules, iter_limit=50, node_limit=10**6, time_limit=0.0).run()
+        assert report.stop_reason is StopReason.TIME_LIMIT
+        assert len(report.iterations) == 1
+        assert report.iterations[0].applied == {}
+
+    def test_invariants_hold_after_every_iteration(self):
+        g = EGraph()
+        e = var("x0", 4)
+        for i in range(1, 5):
+            e = (e + var(f"x{i}", 4)) * 2
+        g.add_expr(e + 0)
+        report = Runner(g, BASIC_RULES, iter_limit=6, check_invariants=True).run()
+        assert report.iterations  # check_invariants raised nowhere
+
 
 class TestBackoffScheduler:
     def test_bans_greedy_rule(self):

@@ -67,6 +67,7 @@ class TestFpSubSemantics:
         )
         assert verdict.equivalent is True
 
+    @pytest.mark.slow
     def test_dual_path_equivalent_medium(self):
         behav = fp_sub_behavioural_ir(exp_width=3, man_width=4)
         dual = fp_sub_dual_path_ir(exp_width=3, man_width=4)
