@@ -20,6 +20,7 @@ from pathlib import Path
 
 from repro import DatapathOptimizer, OptimizerConfig
 from repro.designs import DESIGNS
+from repro.pipeline import RunRecord, record_from_context
 
 #: Wall time of the identical workload at the seed commit (2e25767),
 #: measured back-to-back with the optimized engine on the same machine.
@@ -31,6 +32,10 @@ REPEATS = 3
 ITER_LIMIT = 4
 
 
+#: Records kept in the ``BENCH_perf.json`` trajectory (oldest dropped).
+RECORD_HISTORY_CAP = 50
+
+
 def _run_once() -> tuple[float, "object"]:
     design = DESIGNS["fp_sub"]
     config = OptimizerConfig(
@@ -39,15 +44,16 @@ def _run_once() -> tuple[float, "object"]:
     tool = DatapathOptimizer(design.input_ranges, config)
     t0 = time.perf_counter()
     result = tool.optimize_verilog(design.verilog)
-    return time.perf_counter() - t0, result.report
+    return time.perf_counter() - t0, result
 
 
 def test_perf_fp_sub_optimize():
     walls = []
-    report = None
+    result = None
     for _ in range(REPEATS):
-        wall, report = _run_once()
+        wall, result = _run_once()
         walls.append(wall)
+    report = result.report
     wall = statistics.median(walls)
     speedup = SEED_BASELINE_WALL_S / wall
 
@@ -82,7 +88,26 @@ def test_perf_fp_sub_optimize():
             for it in report.iterations
         ],
     }
+
+    # Append this run to the trajectory through the Session record format —
+    # the same serialization `repro bench --records` emits — so the perf
+    # history is machine-readable alongside the headline payload.
+    record = record_from_context(
+        "perf:fp_sub", "fp_sub", "out", result.context
+    )
+    record = RunRecord.from_json(record.to_json())  # exercise the round trip
     out = Path(__file__).resolve().parents[1] / "BENCH_perf.json"
+    history: list = []
+    if out.exists():
+        try:
+            history = json.load(out.open()).get("records", [])
+        except (json.JSONDecodeError, AttributeError):
+            history = []
+    entry = record.as_dict()
+    entry["wall_s"] = round(wall, 4)
+    history.append(entry)
+    payload["records"] = history[-RECORD_HISTORY_CAP:]
+
     out.write_text(json.dumps(payload, indent=2) + "\n")
 
     print(f"\nfp_sub optimize (iter_limit={ITER_LIMIT}, verify off)")

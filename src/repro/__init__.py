@@ -17,17 +17,36 @@ Quickstart::
     print(result.emit_verilog())
     print(f"delay -{result.delay_improvement:.0%}  area -{result.area_improvement:.0%}")
 
+Batch / pipeline quickstart::
+
+    from repro.pipeline import Session
+
+    records = Session.for_designs(iter_limit=4, node_limit=8000).run(parallel=True)
+    for record in records:
+        print(record.to_json())
+
 Package map (one subsystem per subpackage — see DESIGN.md):
 ``ir`` (word-level IR), ``intervals`` (the abstract domain A),
 ``egraph`` (equality saturation engine), ``analysis`` (abstract
 interpretation incl. ASSUME refinement), ``rewrites`` (Tables I/II and
-friends), ``rtl`` (Verilog frontend/backend), ``synth`` (delay/area models +
-gate-level synthesis substitute), ``verify`` (simulation + BDD equivalence),
-``opt`` (the end-to-end tool), ``designs`` (the paper's benchmarks).
+friends, composed into named rulesets), ``rtl`` (Verilog
+frontend/backend), ``synth`` (delay/area models + gate-level synthesis
+substitute), ``verify`` (simulation + BDD equivalence), ``pipeline``
+(composable stages, batch sessions, run records), ``opt`` (the one-call
+tool preset), ``designs`` (the paper's benchmarks).
 """
 
 from repro.opt import DatapathOptimizer, OptimizerConfig
+from repro.pipeline import Job, Pipeline, RunRecord, Session
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
-__all__ = ["DatapathOptimizer", "OptimizerConfig", "__version__"]
+__all__ = [
+    "DatapathOptimizer",
+    "OptimizerConfig",
+    "Session",
+    "Job",
+    "RunRecord",
+    "Pipeline",
+    "__version__",
+]

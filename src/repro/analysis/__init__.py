@@ -16,20 +16,29 @@ abstraction is intersected with an interval decoded from any recognizable
 
 from repro.analysis.absval import AbsVal
 from repro.analysis.constr import constraint_refinement, decode_constr
-from repro.analysis.datapath import ANALYSIS_NAME, DatapathAnalysis, range_of, total_of, width_of
+from repro.analysis.datapath import (
+    ANALYSIS_NAME,
+    DatapathAnalysis,
+    range_of,
+    range_width,
+    total_of,
+    width_of,
+)
 from repro.analysis.transfer import iset_transfer
-from repro.analysis.tree_ranges import expr_ranges, expr_width
+from repro.analysis.tree_ranges import expr_ranges, expr_totals, expr_width
 
 __all__ = [
     "AbsVal",
     "DatapathAnalysis",
     "ANALYSIS_NAME",
     "range_of",
+    "range_width",
     "total_of",
     "width_of",
     "decode_constr",
     "constraint_refinement",
     "iset_transfer",
     "expr_ranges",
+    "expr_totals",
     "expr_width",
 ]

@@ -25,14 +25,48 @@ from __future__ import annotations
 from repro.intervals import IntervalSet
 from repro.ir import ops
 
+#: Operators a member e-node must have to be a recognizable ``Constr``.
+CONSTR_OPS = frozenset(
+    {ops.LT, ops.LE, ops.GT, ops.GE, ops.EQ, ops.NE, ops.LNOT}
+)
+
 
 def _point(egraph, analysis_name: str, class_id: int) -> int | None:
     """The singleton value of a class's abstraction, if any."""
     return egraph.data(class_id, analysis_name).iset.as_point()
 
 
+def constr_candidates(egraph, constraint: int, cache: dict | None) -> tuple:
+    """Member e-nodes of a *canonical* class with a ``Constr``-shaped op.
+
+    ``ASSUME`` transfer runs on every rebuild of every ASSUME e-node, but a
+    constraint class's membership rarely changes between two runs — rescanning
+    the full node set each time is ~15% of rebuild time on the paper's case
+    study.  The scan result is cached per canonical class, keyed by the
+    class's membership revision (:attr:`~repro.egraph.egraph.EClass.rev`).
+
+    Cached nodes may carry non-canonical children after later unions; callers
+    must resolve children through ``egraph.find`` at use time (which
+    :func:`decode_constr` does anyway).  ``cache=None`` disables caching —
+    the reference path the property tests compare against.
+    """
+    eclass = egraph[constraint]
+    if cache is None:
+        return tuple(n for n in eclass.nodes if n.op in CONSTR_OPS)
+    entry = cache.get(eclass.id)
+    if entry is not None and entry[0] == eclass.rev:
+        return entry[1]
+    candidates = tuple(n for n in eclass.nodes if n.op in CONSTR_OPS)
+    cache[eclass.id] = (eclass.rev, candidates)
+    return candidates
+
+
 def decode_constr(
-    egraph, analysis_name: str, constraint_id: int, target_id: int
+    egraph,
+    analysis_name: str,
+    constraint_id: int,
+    target_id: int,
+    cache: dict | None = None,
 ) -> IntervalSet | None:
     """Interval implied *for target_id* by one constraint class being true.
 
@@ -52,7 +86,7 @@ def decode_constr(
         # The constraint *is* the guarded expression: it must be nonzero.
         tighten(IntervalSet.top().remove_point(0))
 
-    for enode in egraph[constraint].nodes:
+    for enode in constr_candidates(egraph, constraint, cache):
         op = enode.op
         if op is ops.LNOT and find(enode.children[0]) == target:
             tighten(IntervalSet.point(0))
@@ -90,7 +124,8 @@ def decode_constr(
 
 
 def constraint_refinement(
-    egraph, analysis_name: str, constraint_ids, target_id: int
+    egraph, analysis_name: str, constraint_ids, target_id: int,
+    cache: dict | None = None,
 ) -> IntervalSet:
     """Combined refinement for the guarded class over all constraints.
 
@@ -103,7 +138,7 @@ def constraint_refinement(
         cond_range = egraph.data(cid, analysis_name).iset
         if cond_range.as_point() == 0 or cond_range.is_empty:
             return IntervalSet.empty()
-        decoded = decode_constr(egraph, analysis_name, cid, target_id)
+        decoded = decode_constr(egraph, analysis_name, cid, target_id, cache)
         if decoded is not None:
             implied = implied.intersect(decoded)
     return implied

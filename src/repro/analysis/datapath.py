@@ -30,15 +30,25 @@ def total_of(egraph: EGraph, class_id: int) -> bool:
     return egraph.data(class_id, ANALYSIS_NAME).total
 
 
+def range_width(iset: IntervalSet, default: int = 64) -> int:
+    """Storage bitwidth implied by a range (empty -> 1, unbounded -> default).
+
+    The single home of the width policy: both the e-graph cost path
+    (:func:`width_of`) and the tree cost path
+    (:func:`repro.synth.cost.operator_model`) price widths through here.
+    """
+    width = iset.storage_width()
+    if width is None:
+        return default
+    return max(width, 1)
+
+
 def width_of(egraph: EGraph, class_id: int, default: int = 64) -> int:
     """Storage bitwidth implied by the class's range (drives the cost model).
 
     Empty (dead) classes report width 1; unbounded ranges report ``default``.
     """
-    width = range_of(egraph, class_id).storage_width()
-    if width is None:
-        return default
-    return max(width, 1)
+    return range_width(range_of(egraph, class_id), default)
 
 
 class DatapathAnalysis(Analysis):
@@ -54,7 +64,11 @@ class DatapathAnalysis(Analysis):
     #: Bound on the per-analysis ``make`` memo table.
     MAKE_CACHE_CAP = 1 << 17
 
-    def __init__(self, input_ranges: dict[str, IntervalSet] | None = None) -> None:
+    def __init__(
+        self,
+        input_ranges: dict[str, IntervalSet] | None = None,
+        constr_cache: bool = True,
+    ) -> None:
         self.input_ranges = dict(input_ranges or {})
         # ``make`` is a pure function of (op, attrs, child data) for every
         # operator except ASSUME (whose refinement reads constraint-class
@@ -63,6 +77,10 @@ class DatapathAnalysis(Analysis):
         # the hit rate is high.  AbsVal hashes cheaply: its IntervalSet is
         # hash-consed with a cached hash.
         self._make_cache: dict[tuple, AbsVal] = {}
+        # Constraint-class membership scan cache (class id -> (rev,
+        # candidates)); ``constr_cache=False`` keeps the uncached reference
+        # path for differential tests.
+        self._constr_cache: dict | None = {} if constr_cache else None
 
     # ------------------------------------------------------------------- make
     def make(self, egraph: EGraph, enode: ENode) -> AbsVal:
@@ -81,8 +99,12 @@ class DatapathAnalysis(Analysis):
 
         if op is ops.ASSUME:
             guarded = kids[0]
+            cache = self._constr_cache
+            if cache is not None and len(cache) >= self.MAKE_CACHE_CAP:
+                cache.clear()
             refinement = constraint_refinement(
-                egraph, self.name, enode.children[1:], enode.children[0]
+                egraph, self.name, enode.children[1:], enode.children[0],
+                self._constr_cache,
             )
             return AbsVal(guarded.iset.intersect(refinement), False)
 

@@ -123,6 +123,51 @@ def _invert_comparison(node: Expr) -> Expr | None:
     return Expr(flipped, (), node.children)
 
 
+def expr_totals(
+    root: Expr, ranges: Mapping[Expr, IntervalSet]
+) -> dict[Expr, bool]:
+    """Totality of every subterm (mirrors the e-class analysis's flag).
+
+    ``ranges`` must cover every subterm of ``root`` (use
+    :func:`expr_ranges`).  The rules are those of
+    :meth:`~repro.analysis.datapath.DatapathAnalysis.make`: leaves are
+    total, ``ASSUME`` is never total, a mux is total when its condition is
+    and so is every branch it can select, strict operators are total when
+    all operands are and the operands provably stay in the operator's
+    defined domain.
+    """
+    from repro.analysis.datapath import defined_everywhere
+
+    memo: dict[Expr, bool] = {}
+    stack: list[tuple[Expr, bool]] = [(root, False)]
+    while stack:
+        node, ready = stack.pop()
+        if node in memo:
+            continue
+        if not ready:
+            stack.append((node, True))
+            stack.extend((c, False) for c in node.children if c not in memo)
+            continue
+        if node.op in (ops.VAR, ops.CONST):
+            memo[node] = True
+        elif node.op is ops.ASSUME:
+            memo[node] = False
+        elif node.op is ops.MUX:
+            cond, if_true, if_false = node.children
+            verdict = ranges[cond].truthiness()
+            memo[node] = memo[cond] and (
+                (verdict is True and memo[if_true])
+                or (verdict is False and memo[if_false])
+                or (memo[if_true] and memo[if_false])
+            )
+        else:
+            kid_isets = [ranges[c] for c in node.children]
+            memo[node] = all(memo[c] for c in node.children) and defined_everywhere(
+                node.op, node.attrs, kid_isets
+            )
+    return memo
+
+
 def expr_width(
     root: Expr, input_ranges: Mapping[str, IntervalSet] | None = None
 ) -> int:

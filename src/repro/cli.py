@@ -1,15 +1,34 @@
-"""Command-line interface: ``python -m repro <file.v> [options]``.
+"""Command-line interface: ``python -m repro <subcommand> ...``.
 
-Optimizes every output of a Verilog module and writes the optimized module
-to stdout (or ``-o``), with a cost/equivalence report on stderr.  Input
-range constraints use ``name=lo:hi`` syntax::
+Subcommands (on the composable pipeline API):
 
-    python -m repro design.v --range x=128:255 --iters 8 -o out.v
+``optimize``
+    The paper's tool on one Verilog file: optimize every output, write the
+    optimized module to stdout (or ``-o``), report costs/equivalence on
+    stderr.  Input range constraints use ``name=lo:hi`` syntax::
+
+        python -m repro optimize design.v --range x=128:255 --iters 8 -o out.v
+
+``bench``
+    Batch-optimize registry designs through a :class:`repro.pipeline.Session`
+    (``--parallel`` fans out over a process pool) and print a Table III
+    style comparison; ``--records`` appends the JSON run records.
+
+``report``
+    Re-render a comparison table from a saved ``--records`` file.
+
+``sweep``
+    Saturate one registry design once, then re-extract under a range of
+    delay/area objective weights (the Figure 3 trade-off curve).
+
+Bare legacy invocations (``python -m repro design.v ...``) map to
+``optimize`` unchanged.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import DatapathOptimizer, OptimizerConfig
@@ -28,12 +47,7 @@ def parse_range(text: str) -> tuple[str, IntervalSet]:
         ) from err
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Constraint-aware datapath optimization using e-graphs "
-        "(Coward et al., DAC 2023).",
-    )
+def _add_optimize_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("source", help="Verilog file (combinational subset)")
     parser.add_argument("-o", "--output", help="write optimized Verilog here")
     parser.add_argument(
@@ -42,24 +56,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--iters", type=int, default=8, help="saturation iterations")
     parser.add_argument("--nodes", type=int, default=30_000, help="e-graph node limit")
+    parser.add_argument(
+        "--time-limit", type=float, default=60.0, metavar="SECONDS",
+        help="saturation wall-clock budget (default: 60)",
+    )
+    parser.add_argument(
+        "--split-threshold", type=int, default=1, metavar="K",
+        help="case-split a - (b >> c) at c > K (default: 1)",
+    )
     parser.add_argument("--no-verify", action="store_true", help="skip equivalence check")
     parser.add_argument("--no-split", action="store_true", help="disable case splitting")
     parser.add_argument(
         "--module-name", default="optimized", help="name of the emitted module"
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Constraint-aware datapath optimization using e-graphs "
+        "(Coward et al., DAC 2023).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    optimize = sub.add_parser("optimize", help="optimize one Verilog file")
+    _add_optimize_arguments(optimize)
+
+    bench = sub.add_parser("bench", help="batch-optimize registry designs")
+    bench.add_argument(
+        "--designs", default=None, metavar="A,B,...",
+        help="comma-separated registry design names (default: all)",
+    )
+    bench.add_argument("--iters", type=int, default=None, help="override iterations")
+    bench.add_argument("--nodes", type=int, default=None, help="override node limit")
+    bench.add_argument(
+        "--time-limit", type=float, default=60.0, metavar="SECONDS",
+        help="per-design saturation budget",
+    )
+    bench.add_argument("--verify", action="store_true", help="equivalence-check results")
+    bench.add_argument(
+        "--parallel", action="store_true", help="fan jobs out over a process pool"
+    )
+    bench.add_argument(
+        "--workers", type=int, default=None, help="process pool size (with --parallel)"
+    )
+    bench.add_argument(
+        "--records", metavar="FILE", help="append JSON run records to this file"
+    )
+
+    report = sub.add_parser("report", help="render a table from saved run records")
+    report.add_argument("records", help="JSON file written by `bench --records`")
+
+    sweep = sub.add_parser("sweep", help="delay/area objective sweep on one design")
+    sweep.add_argument("design", help="registry design name")
+    sweep.add_argument("--iters", type=int, default=None, help="override iterations")
+    sweep.add_argument("--nodes", type=int, default=None, help="override node limit")
+    sweep.add_argument(
+        "--area-weights", default="0,0.002,0.005,0.01,0.02,0.05,0.1",
+        metavar="W,W,...", help="area weights (delay weight fixed at 1)",
+    )
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+# --------------------------------------------------------------- subcommands
+def _cmd_optimize(args: argparse.Namespace) -> int:
     with open(args.source) as handle:
         source = handle.read()
 
     config = OptimizerConfig(
         iter_limit=args.iters,
         node_limit=args.nodes,
+        time_limit=args.time_limit,
         verify=not args.no_verify,
-        split_threshold=None if args.no_split else 1,
+        split_threshold=None if args.no_split else args.split_threshold,
     )
     tool = DatapathOptimizer(dict(args.ranges), config)
     module = tool.optimize_verilog(source)
@@ -80,6 +149,147 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print(text)
     return 0
+
+
+def _records_table(records) -> str:
+    from repro.opt import format_comparison
+
+    rows = [
+        (
+            record.job,
+            record.original_delay,
+            record.original_area,
+            record.optimized_delay,
+            record.optimized_area,
+        )
+        for record in records
+        if record.status == "ok"
+    ]
+    return format_comparison(rows)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.designs.registry import design_names
+    from repro.pipeline import Session
+
+    names = (
+        [n.strip() for n in args.designs.split(",") if n.strip()]
+        if args.designs
+        else design_names()
+    )
+    session = Session.for_designs(
+        names,
+        iter_limit=args.iters,
+        node_limit=args.nodes,
+        time_limit=args.time_limit,
+        verify=args.verify,
+    )
+    records = session.run(parallel=args.parallel, max_workers=args.workers)
+
+    print(_records_table(records))
+    for record in records:
+        if record.status != "ok":
+            print(f"{record.job}: FAILED — {record.error}", file=sys.stderr)
+    if args.records:
+        _append_records(args.records, records)
+        print(f"appended {len(records)} records to {args.records}", file=sys.stderr)
+    return 0 if all(r.status == "ok" for r in records) else 1
+
+
+def _append_records(path: str, records) -> None:
+    """Append run records to a JSON file.
+
+    New files get a bare list of record dicts.  An existing dict-layout
+    file (e.g. ``BENCH_perf.json``, whose headline payload carries a
+    ``records`` list) keeps its other keys — only ``records`` grows.
+    """
+    loaded = None
+    try:
+        with open(path) as handle:
+            loaded = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        pass
+    fresh = [json.loads(record.to_json()) for record in records]
+    if isinstance(loaded, dict):
+        existing = loaded.get("records", [])
+        if not isinstance(existing, list):
+            existing = []
+        payload = {**loaded, "records": [*existing, *fresh]}
+    elif isinstance(loaded, list):
+        payload = [*loaded, *fresh]
+    else:
+        # Missing, corrupt, or scalar content: start a fresh record list.
+        payload = fresh
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.pipeline import RunRecord
+
+    with open(args.records) as handle:
+        loaded = json.load(handle)
+    if isinstance(loaded, list):
+        raw = loaded
+    elif isinstance(loaded, dict):
+        raw = loaded.get("records", [])
+    else:
+        raw = []
+    records = [RunRecord.from_dict(entry) for entry in raw if isinstance(entry, dict)]
+    if not records:
+        print("no records", file=sys.stderr)
+        return 1
+    print(_records_table(records))
+    failed = [r for r in records if r.status != "ok"]
+    for record in failed:
+        print(f"{record.job}: FAILED — {record.error}", file=sys.stderr)
+    return 1 if failed else 0  # same contract as `bench`
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.designs.registry import get_design
+    from repro.pipeline import Extract, Ingest, Pipeline, Saturate
+    from repro.synth.cost import weighted_key
+
+    design = get_design(args.design)
+    iters = args.iters if args.iters is not None else design.iterations
+    nodes = args.nodes if args.nodes is not None else design.node_limit
+    weights = [float(w) for w in args.area_weights.split(",") if w.strip()]
+
+    # Saturate once; re-extract per objective on the same context.
+    ctx = Pipeline(
+        [Ingest(source=design.verilog), Saturate(iter_limit=iters, node_limit=nodes)]
+    ).run(input_ranges=design.input_ranges)
+    print(f"{args.design}: {ctx.report.summary()}", file=sys.stderr)
+    print(f"{'area_weight':>11} {'delay':>8} {'area':>10}")
+    for weight in weights:
+        Extract(key=weighted_key(1.0, weight)).run(ctx)
+        cost = ctx.optimized_costs[design.output]
+        print(f"{weight:>11.4f} {cost.delay:>8.1f} {cost.area:>10.1f}")
+    return 0
+
+
+_DISPATCH = {
+    "optimize": _cmd_optimize,
+    "bench": _cmd_bench,
+    "report": _cmd_report,
+    "sweep": _cmd_sweep,
+}
+
+#: Derived, so the legacy-alias check in ``main`` can never drift from the
+#: registered subcommands.
+SUBCOMMANDS = tuple(_DISPATCH)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Legacy invocation: `python -m repro design.v [options]` (no
+    # subcommand) keeps working as an alias for `optimize`.
+    if argv and argv[0] not in SUBCOMMANDS and argv[0] not in ("-h", "--help"):
+        argv.insert(0, "optimize")
+    args = build_parser().parse_args(argv)
+    return _DISPATCH[args.command](args)
 
 
 if __name__ == "__main__":

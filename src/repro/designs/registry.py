@@ -76,3 +76,8 @@ def get_design(name: str) -> Design:
     if name not in DESIGNS:
         raise KeyError(f"unknown design {name!r}; have {sorted(DESIGNS)}")
     return DESIGNS[name]
+
+
+def design_names() -> list[str]:
+    """All registry design names, sorted (drives batch sessions / the CLI)."""
+    return sorted(DESIGNS)

@@ -58,6 +58,11 @@ class EClass:
     nodes: set[ENode] = field(default_factory=set)
     parents: list[tuple[ENode, int]] = field(default_factory=list)
     data: dict[str, Any] = field(default_factory=dict)
+    #: Membership revision: bumped whenever ``nodes`` changes (a merge brings
+    #: new members in, or a rebuild re-canonicalizes the set).  Analyses use
+    #: it to key per-class membership caches — see
+    #: :func:`repro.analysis.constr.constr_candidates`.
+    rev: int = 0
 
 
 class EGraph:
@@ -255,6 +260,7 @@ class EGraph:
 
         before = len(keep.nodes)
         keep.nodes |= gone.nodes
+        keep.rev += 1
         self._node_count += len(keep.nodes) - before - len(gone.nodes)
         keep.parents.extend(gone.parents)
         for analysis in self.analyses:
@@ -327,6 +333,8 @@ class EGraph:
             eclass = self._classes[root]
             old_nodes = eclass.nodes
             eclass.nodes = {n.canonical(find) for n in old_nodes}
+            if eclass.nodes != old_nodes:
+                eclass.rev += 1
             self._node_count += len(eclass.nodes) - len(old_nodes)
             fresh_parents: dict[ENode, int] = {}
             for enode, pid in eclass.parents:

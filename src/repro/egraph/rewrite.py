@@ -72,8 +72,7 @@ class Rewrite:
             new_id = instantiate(egraph, self.applier, env)
         if new_id is None:
             return egraph.version != before
-        root = egraph.union(class_id, new_id)
-        del root
+        egraph.union(class_id, new_id)
         return egraph.version != before
 
     def __repr__(self) -> str:

@@ -63,6 +63,20 @@ class IterationStats:
         """E-nodes added by this iteration."""
         return self.nodes_after - self.nodes_before
 
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot (drives ``RunRecord`` / perf logs)."""
+        return {
+            "index": self.index,
+            "nodes_before": self.nodes_before,
+            "nodes_after": self.nodes_after,
+            "classes_before": self.classes_before,
+            "classes_after": self.classes_after,
+            "applied": dict(self.applied),
+            "search_s": round(self.search_time, 6),
+            "apply_s": round(self.apply_time, 6),
+            "rebuild_s": round(self.rebuild_time, 6),
+        }
+
 
 @dataclass
 class RunnerReport:
@@ -88,6 +102,16 @@ class RunnerReport:
             f"(+{grown} grown), {self.classes} classes, "
             f"stopped: {self.stop_reason.value}, {self.total_time:.2f}s"
         )
+
+    def as_dict(self) -> dict:
+        """JSON-serializable report (drives ``RunRecord`` / perf logs)."""
+        return {
+            "stop_reason": self.stop_reason.value,
+            "total_time_s": round(self.total_time, 6),
+            "nodes": self.nodes,
+            "classes": self.classes,
+            "iterations": [it.as_dict() for it in self.iterations],
+        }
 
 
 class BackoffScheduler:

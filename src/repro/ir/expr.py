@@ -11,7 +11,7 @@ Integers auto-lift to ``CONST`` nodes in every builder.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.ir import ops
@@ -27,6 +27,32 @@ class Expr:
     op: Op
     attrs: tuple = ()
     children: tuple["Expr", ...] = ()
+    #: Cached structural hash (computed lazily; -1 = not yet computed).  The
+    #: tree analyses memoize on Expr keys, and without the cache every dict
+    #: probe rehashes the whole subtree — O(n^2) on deep designs.
+    _hash: int = field(init=False, repr=False, compare=False, default=-1)
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached == -1:
+            cached = hash((self.op, self.attrs, self.children))
+            if cached == -1:
+                cached = -2
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # The cached hash must NOT cross process boundaries: str hashing is
+        # per-process randomized, so a pickled hash would disagree with
+        # hashes computed in the receiving process and corrupt dict lookups.
+        return (self.op, self.attrs, self.children)
+
+    def __setstate__(self, state) -> None:
+        op, attrs, children = state
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "attrs", attrs)
+        object.__setattr__(self, "children", children)
+        object.__setattr__(self, "_hash", -1)
 
     def __post_init__(self) -> None:
         if self.op.arity is not None and len(self.children) != self.op.arity:

@@ -1,22 +1,38 @@
-"""The optimizer pipeline: ingest -> rewrite (phased) -> extract -> verify."""
+"""The one-call optimizer: a preset over the composable pipeline.
+
+:class:`DatapathOptimizer` keeps the paper's fixed flow — ingest ->
+case-split -> saturate -> extract -> verify — but since the pipeline
+redesign it is a thin facade: :meth:`DatapathOptimizer.build_pipeline`
+assembles :mod:`repro.pipeline` stages from an :class:`OptimizerConfig`,
+and the ``optimize_*`` entrypoints run that pipeline and repackage the
+context into the stable :class:`OptimizationResult` / :class:`ModuleResult`
+shapes.  Anything beyond the preset (phased rule schedules, objective
+sweeps, batch/parallel runs) composes the stages directly or goes through
+:class:`repro.pipeline.Session`.
+"""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from repro.analysis import DatapathAnalysis
-from repro.egraph import EGraph, Extractor, Runner, RunnerReport
+from repro.egraph import EGraph, RunnerReport
 from repro.egraph.rewrite import Rewrite
 from repro.intervals import IntervalSet
 from repro.ir.expr import Expr
-from repro.opt.report import model_cost
-from repro.rewrites import all_rules
-from repro.rewrites.casesplit import case_split_on
-from repro.rtl import emit_verilog, module_to_ir
-from repro.synth.cost import DelayArea, DelayAreaCost, default_key
-from repro.verify import EquivalenceResult, check_equivalent
+from repro.pipeline import (
+    CaseSplit,
+    Extract,
+    Ingest,
+    Pipeline,
+    PipelineContext,
+    Saturate,
+    Verify,
+)
+from repro.rewrites import compose_rules
+from repro.rtl import emit_verilog
+from repro.synth.cost import DelayArea, default_key
+from repro.verify import EquivalenceResult
 
 
 @dataclass
@@ -31,7 +47,9 @@ class OptimizerConfig:
     #: case-split threshold for ``a - (b >> c)`` (Section V splits at c > 1);
     #: None disables case splitting.
     split_threshold: int | None = 1
-    #: ablation switches (benchmarks exercise these).
+    #: ablation switches (benchmarks exercise these) — these drop whole
+    #: rulesets from the composition, see
+    #: :func:`repro.rewrites.rulesets.compose_rules`.
     enable_assume: bool = True
     enable_condition_rewriting: bool = True
     #: verify the optimized design against the original after extraction.
@@ -43,12 +61,12 @@ class OptimizerConfig:
     extraction_key = staticmethod(default_key)
 
     def rules(self) -> list[Rewrite]:
-        selected = all_rules(self.split_threshold)
-        if not self.enable_assume:
-            selected = [r for r in selected if not r.name.startswith(("assume", "mux-branch"))]
-        if not self.enable_condition_rewriting:
-            selected = [r for r in selected if not r.name.startswith("cond-")]
-        return selected
+        """The composed single-phase rule selection for this config."""
+        return compose_rules(
+            self.split_threshold,
+            self.enable_assume,
+            self.enable_condition_rewriting,
+        )
 
 
 @dataclass
@@ -90,6 +108,8 @@ class ModuleResult:
     outputs: dict[str, OptimizationResult]
     egraph: EGraph
     report: RunnerReport
+    #: The pipeline context of the run (per-stage timings, artifacts).
+    context: PipelineContext | None = None
 
     def emit_verilog(self, module_name: str = "optimized") -> str:
         exprs = {name: r.optimized for name, r in self.outputs.items()}
@@ -108,6 +128,35 @@ class DatapathOptimizer:
         self.input_ranges = dict(input_ranges or {})
         self.config = config if config is not None else OptimizerConfig()
 
+    # ------------------------------------------------------------- pipeline
+    def build_pipeline(
+        self,
+        source: str | None = None,
+        roots: Mapping[str, Expr] | None = None,
+        user_splits: Sequence[Expr] = (),
+    ) -> Pipeline:
+        """The stage list this config's one-call entrypoints run."""
+        config = self.config
+        stages = [Ingest(source=source, roots=dict(roots) if roots else None)]
+        if user_splits:
+            stages.append(CaseSplit(user_splits))
+        stages.append(
+            Saturate(
+                config.rules(),
+                iter_limit=config.iter_limit,
+                node_limit=config.node_limit,
+                time_limit=config.time_limit,
+                check_invariants=config.check_invariants,
+            )
+        )
+        # ASSUME wrappers are kept in the extracted tree: the tree-level
+        # range analysis re-derives the constraint refinements from them, so
+        # netlist lowering and Verilog emission see the reduced bitwidths.
+        stages.append(Extract(key=config.extraction_key, strip_assumes=False))
+        if config.verify:
+            stages.append(Verify(strict=True))
+        return Pipeline(stages)
+
     # ----------------------------------------------------------------- entry
     def optimize_expr(
         self, expr: Expr, user_splits: Sequence[Expr] = ()
@@ -120,54 +169,34 @@ class DatapathOptimizer:
         self, source: str, user_splits: Sequence[Expr] = ()
     ) -> ModuleResult:
         """Optimize every output of a Verilog module (joint e-graph)."""
-        return self.optimize_exprs(module_to_ir(source), user_splits)
+        pipeline = self.build_pipeline(source=source, user_splits=user_splits)
+        return self._package(pipeline.run(input_ranges=self.input_ranges))
 
     def optimize_exprs(
         self, roots: Mapping[str, Expr], user_splits: Sequence[Expr] = ()
     ) -> ModuleResult:
         """Optimize several roots sharing one e-graph."""
-        started = time.perf_counter()
-        egraph = EGraph([DatapathAnalysis(self.input_ranges)])
-        root_ids = {name: egraph.add_expr(e) for name, e in roots.items()}
-        egraph.rebuild()
-        for name, root_id in root_ids.items():
-            for split in user_splits:
-                case_split_on(egraph, root_id, split)
+        pipeline = self.build_pipeline(roots=roots, user_splits=user_splits)
+        return self._package(pipeline.run(input_ranges=self.input_ranges))
 
-        runner = Runner(
-            egraph,
-            self.config.rules(),
-            iter_limit=self.config.iter_limit,
-            node_limit=self.config.node_limit,
-            time_limit=self.config.time_limit,
-            check_invariants=self.config.check_invariants,
-        )
-        report = runner.run()
-
-        cost_fn = DelayAreaCost(self.config.extraction_key)
-        # ASSUME wrappers are kept in the extracted tree: the tree-level
-        # range analysis re-derives the constraint refinements from them, so
-        # netlist lowering and Verilog emission see the reduced bitwidths.
-        extractor = Extractor(egraph, cost_fn, strip_assumes=False)
-        outputs: dict[str, OptimizationResult] = {}
-        for name, expr in roots.items():
-            optimized = extractor.expr_of(root_ids[name])
-            equivalence = None
-            if self.config.verify:
-                equivalence = check_equivalent(expr, optimized, self.input_ranges)
-                if equivalence.equivalent is False:
-                    raise AssertionError(
-                        f"optimizer produced a non-equivalent design for "
-                        f"{name!r} at {equivalence.counterexample}"
-                    )
-            outputs[name] = OptimizationResult(
+    # ------------------------------------------------------------- plumbing
+    def _package(self, ctx: PipelineContext) -> ModuleResult:
+        """Repackage a finished context into the stable result shape."""
+        report = ctx.report
+        runtime = ctx.total_seconds
+        outputs = {
+            name: OptimizationResult(
                 original=expr,
-                optimized=optimized,
-                original_cost=model_cost(expr, self.input_ranges),
-                optimized_cost=model_cost(optimized, self.input_ranges),
+                optimized=ctx.extracted[name],
+                original_cost=ctx.original_costs[name],
+                optimized_cost=ctx.optimized_costs[name],
                 report=report,
-                equivalence=equivalence,
-                runtime=time.perf_counter() - started,
-                input_ranges=dict(self.input_ranges),
+                equivalence=ctx.equivalence.get(name),
+                runtime=runtime,
+                input_ranges=dict(ctx.input_ranges),
             )
-        return ModuleResult(outputs=outputs, egraph=egraph, report=report)
+            for name, expr in ctx.roots.items()
+        }
+        return ModuleResult(
+            outputs=outputs, egraph=ctx.egraph, report=report, context=ctx
+        )

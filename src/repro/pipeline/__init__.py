@@ -1,0 +1,62 @@
+"""Composable optimization pipelines (the tool, taken apart).
+
+The paper's fixed flow — ingest RTL, constraint-aware equality saturation,
+cost-based extraction, verification — generalizes (as in its successor
+ROVER) into stages over a shared context:
+
+>>> from repro.pipeline import Ingest, Saturate, Extract, Pipeline
+>>> from repro.rewrites import structural_ruleset, compose_rules
+>>> pipe = Pipeline([
+...     Ingest(source=verilog),
+...     Saturate(structural_ruleset(), iter_limit=2),   # phase 1
+...     Saturate(compose_rules(), iter_limit=4),        # phase 2
+...     Extract(),
+... ])                                                  # doctest: +SKIP
+>>> ctx = pipe.run(input_ranges={"x": IntervalSet.of(128, 255)})  # doctest: +SKIP
+
+Batch work goes through :class:`Session` — named :class:`Job`\\ s over the
+designs registry, optionally on a process pool, each producing a
+JSON-round-trippable :class:`RunRecord`.
+
+:class:`~repro.opt.optimizer.DatapathOptimizer` remains the one-call preset
+over exactly these stages.
+"""
+
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.pipeline import Pipeline, run_stages
+from repro.pipeline.session import (
+    Job,
+    RunRecord,
+    Session,
+    execute_job,
+    job_stages,
+    record_from_context,
+)
+from repro.pipeline.stages import (
+    CaseSplit,
+    Emit,
+    Extract,
+    Ingest,
+    Saturate,
+    Stage,
+    Verify,
+)
+
+__all__ = [
+    "PipelineContext",
+    "Pipeline",
+    "run_stages",
+    "Stage",
+    "Ingest",
+    "CaseSplit",
+    "Saturate",
+    "Extract",
+    "Verify",
+    "Emit",
+    "Session",
+    "Job",
+    "RunRecord",
+    "execute_job",
+    "job_stages",
+    "record_from_context",
+]

@@ -1,0 +1,67 @@
+"""Ordered stage execution with per-stage timing."""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from repro.intervals import IntervalSet
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.stages import Ingest, Stage
+
+
+class Pipeline:
+    """An ordered list of stages run over one shared context.
+
+    A pipeline is reusable: each :meth:`run` call gets a fresh context
+    unless one is passed in (to resume — e.g. re-extract a saturated
+    e-graph under a different objective, append a verification pass, ...).
+    """
+
+    def __init__(self, stages: Iterable[Stage]) -> None:
+        self.stages: list[Stage] = list(stages)
+
+    def __repr__(self) -> str:
+        return f"Pipeline({' -> '.join(s.name for s in self.stages)})"
+
+    def extended(self, *stages: Stage) -> "Pipeline":
+        """A new pipeline with extra stages appended."""
+        return Pipeline([*self.stages, *stages])
+
+    def run(
+        self,
+        ctx: PipelineContext | None = None,
+        input_ranges: dict[str, IntervalSet] | None = None,
+    ) -> PipelineContext:
+        """Run every stage in order; returns the (mutated) context."""
+        if ctx is None:
+            ctx = PipelineContext(input_ranges=dict(input_ranges or {}))
+        elif input_ranges is not None:
+            reingests = bool(self.stages) and isinstance(self.stages[0], Ingest)
+            if (
+                ctx.egraph is not None
+                and not reingests
+                and dict(input_ranges) != ctx.input_ranges
+            ):
+                # The e-graph's analysis was seeded with the old ranges at
+                # Ingest; swapping ranges under the saturated state would
+                # desync extraction and verification from it.
+                raise ValueError(
+                    "cannot change input_ranges on a context that already "
+                    "holds an e-graph — start the pipeline with an Ingest "
+                    "stage (or use a fresh context) instead"
+                )
+            ctx.input_ranges = dict(input_ranges)
+        for stage in self.stages:
+            started = time.perf_counter()
+            stage.run(ctx)
+            ctx.timings.append((stage.name, time.perf_counter() - started))
+        return ctx
+
+
+def run_stages(
+    stages: Sequence[Stage],
+    input_ranges: dict[str, IntervalSet] | None = None,
+) -> PipelineContext:
+    """One-shot convenience: ``Pipeline(stages).run(...)``."""
+    return Pipeline(stages).run(input_ranges=input_ranges)

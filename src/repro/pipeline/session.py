@@ -1,0 +1,243 @@
+"""Batch optimization sessions over the designs registry.
+
+A :class:`Session` runs a list of named :class:`Job`\\ s — each referencing
+a registry design plus schedule knobs — and returns one JSON-serializable
+:class:`RunRecord` per job.  Jobs are plain picklable value objects, so a
+session can opt into a :class:`~concurrent.futures.ProcessPoolExecutor`
+(``parallel=True``) and fan the batch out across cores; each worker
+reconstructs the design from the registry by name (IR trees and interned
+interval sets never cross the process boundary).
+
+The record stream is the bench trajectory format: ``RunRecord.to_json`` /
+``from_json`` round-trip exactly, and ``benchmarks/test_bench_perf.py``
+appends records to ``BENCH_perf.json`` through it.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field, fields
+from typing import Iterable, Sequence
+
+from repro.designs.registry import DESIGNS, get_design
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.pipeline import Pipeline
+from repro.pipeline.stages import Extract, Ingest, Saturate, Stage, Verify
+from repro.rewrites.rulesets import casesplit_ruleset, compose_rules, ruleset
+
+
+@dataclass(frozen=True)
+class Job:
+    """One named unit of batch work: a registry design plus schedule knobs.
+
+    ``phases`` opts into a phased schedule: each entry is a tuple of named
+    rulesets (see :data:`~repro.rewrites.rulesets.RULESETS`) run as its own
+    ``Saturate`` stage with ``phase_iters`` iterations.  An empty ``phases``
+    runs the single-phase default composition.
+    """
+
+    name: str
+    design: str
+    iter_limit: int | None = None
+    node_limit: int | None = None
+    time_limit: float = 60.0
+    split_threshold: int | None = 1
+    enable_assume: bool = True
+    enable_condition: bool = True
+    verify: bool = False
+    phases: tuple[tuple[str, ...], ...] = ()
+    phase_iters: int = 4
+
+
+@dataclass
+class RunRecord:
+    """JSON-serializable outcome of one job (the bench trajectory row)."""
+
+    job: str
+    design: str
+    output: str = ""
+    status: str = "ok"  # "ok" | "error"
+    stop_reason: str = ""
+    iterations: int = 0
+    nodes: int = 0
+    classes: int = 0
+    original_delay: float = 0.0
+    original_area: float = 0.0
+    optimized_delay: float = 0.0
+    optimized_area: float = 0.0
+    delay_improvement: float = 0.0
+    area_improvement: float = 0.0
+    verified: bool | None = None
+    runtime_s: float = 0.0
+    stage_timings: dict[str, float] = field(default_factory=dict)
+    error: str | None = None
+
+    # -------------------------------------------------------- serialization
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        return cls.from_dict(json.loads(text))
+
+
+def job_stages(job: Job, design) -> list[Stage]:
+    """The stage list a job's schedule expands to (shared with the CLI)."""
+    iter_limit = job.iter_limit if job.iter_limit is not None else design.iterations
+    node_limit = job.node_limit if job.node_limit is not None else design.node_limit
+    stages: list[Stage] = [Ingest(source=design.verilog)]
+    if job.phases:
+        for index, phase in enumerate(job.phases):
+            rules = []
+            for name in phase:
+                if name == "casesplit":
+                    rules += casesplit_ruleset(
+                        job.split_threshold if job.split_threshold is not None else 1
+                    )
+                else:
+                    rules += ruleset(name)
+            stages.append(
+                Saturate(
+                    rules,
+                    iter_limit=job.phase_iters,
+                    node_limit=node_limit,
+                    time_limit=job.time_limit,
+                    label=f"saturate:{'+'.join(phase) or index}",
+                )
+            )
+    else:
+        stages.append(
+            Saturate(
+                compose_rules(
+                    job.split_threshold, job.enable_assume, job.enable_condition
+                ),
+                iter_limit=iter_limit,
+                node_limit=node_limit,
+                time_limit=job.time_limit,
+            )
+        )
+    stages.append(Extract())
+    if job.verify:
+        stages.append(Verify())
+    return stages
+
+
+def record_from_context(
+    job_name: str, design_name: str, output: str, ctx: PipelineContext
+) -> RunRecord:
+    """Condense a finished pipeline context into one record."""
+    report = ctx.report
+    before = ctx.original_costs.get(output)
+    after = ctx.optimized_costs.get(output)
+    verdict = ctx.equivalence.get(output)
+    delay_gain = area_gain = 0.0
+    if before is not None and after is not None:
+        if before.delay:
+            delay_gain = 1.0 - after.delay / before.delay
+        if before.area:
+            area_gain = 1.0 - after.area / before.area
+    return RunRecord(
+        job=job_name,
+        design=design_name,
+        output=output,
+        status="ok",
+        stop_reason=report.stop_reason.value if report else "",
+        iterations=sum(len(r.iterations) for r in ctx.reports),
+        nodes=report.nodes if report else 0,
+        classes=report.classes if report else 0,
+        original_delay=before.delay if before else 0.0,
+        original_area=before.area if before else 0.0,
+        optimized_delay=after.delay if after else 0.0,
+        optimized_area=after.area if after else 0.0,
+        delay_improvement=delay_gain,
+        area_improvement=area_gain,
+        verified=verdict.equivalent if verdict is not None else None,
+        runtime_s=ctx.total_seconds,
+        stage_timings=ctx.stage_timings(),
+    )
+
+
+def execute_job(job: Job) -> RunRecord:
+    """Run one job to a record.  Top-level so process pools can pickle it;
+    failures come back as ``status="error"`` records, never exceptions."""
+    try:
+        design = get_design(job.design)
+        ctx = Pipeline(job_stages(job, design)).run(
+            input_ranges=design.input_ranges
+        )
+        return record_from_context(job.name, job.design, design.output, ctx)
+    except Exception as err:  # pragma: no cover - exercised via bad jobs
+        return RunRecord(
+            job=job.name,
+            design=job.design,
+            status="error",
+            error=f"{type(err).__name__}: {err}",
+        )
+
+
+class Session:
+    """A batch of named jobs over the designs registry.
+
+    >>> session = Session.for_designs(iter_limit=4, node_limit=8000)
+    >>> records = session.run(parallel=True)   # doctest: +SKIP
+
+    ``parallel=True`` fans jobs out over a process pool (opt-in: workers
+    re-import the package, so tiny batches are faster serially); records
+    always come back in job order.
+    """
+
+    def __init__(
+        self,
+        jobs: Iterable[Job] = (),
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> None:
+        self.jobs: list[Job] = list(jobs)
+        self.parallel = parallel
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------- building
+    def add(self, job: Job | None = None, /, **kwargs) -> Job:
+        """Append a job (either prebuilt, or from ``Job(**kwargs)``)."""
+        if job is None:
+            kwargs.setdefault("name", kwargs.get("design", f"job-{len(self.jobs)}"))
+            job = Job(**kwargs)
+        self.jobs.append(job)
+        return job
+
+    @classmethod
+    def for_designs(
+        cls,
+        names: Sequence[str] | None = None,
+        parallel: bool = False,
+        max_workers: int | None = None,
+        **overrides,
+    ) -> "Session":
+        """A session with one job per registry design (or the named ones)."""
+        session = cls(parallel=parallel, max_workers=max_workers)
+        for name in names if names is not None else sorted(DESIGNS):
+            session.add(Job(name=name, design=name, **overrides))
+        return session
+
+    # -------------------------------------------------------------- running
+    def run(
+        self,
+        parallel: bool | None = None,
+        max_workers: int | None = None,
+    ) -> list[RunRecord]:
+        """Execute every job; one record per job, in order."""
+        use_parallel = self.parallel if parallel is None else parallel
+        workers = max_workers if max_workers is not None else self.max_workers
+        if use_parallel and len(self.jobs) > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(execute_job, self.jobs))
+        return [execute_job(job) for job in self.jobs]

@@ -1,0 +1,234 @@
+"""The composable pipeline stages (the paper's flow, taken apart).
+
+Each stage is a small object with a ``name`` and a ``run(ctx)`` method over
+the shared :class:`~repro.pipeline.context.PipelineContext`; a
+:class:`~repro.pipeline.pipeline.Pipeline` is just an ordered list of them.
+The paper's fixed flow — ingest RTL, constraint-aware equality saturation,
+cost-based extraction, verification — is the preset
+:class:`~repro.opt.optimizer.DatapathOptimizer` builds, but the stages
+compose freely: several ``Saturate`` stages with different rulesets give
+ROVER-style phased schedules, several ``Extract`` stages sweep extraction
+objectives over one saturated e-graph, ``Verify``/``Emit`` are optional.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.analysis import DatapathAnalysis
+from repro.egraph import EGraph, Extractor, Runner
+from repro.egraph.rewrite import Rewrite
+from repro.ir.expr import Expr
+from repro.rewrites import compose_rules
+from repro.rewrites.casesplit import case_split_on
+from repro.rtl import emit_verilog, module_to_ir
+from repro.synth.cost import DelayAreaCost, default_key
+from repro.verify import check_equivalent
+
+from repro.pipeline.context import PipelineContext
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One step of an optimization pipeline."""
+
+    #: Label used in progress/timing records (repeatable across instances).
+    name: str
+
+    def run(self, ctx: PipelineContext) -> None:
+        """Advance the context in place."""
+        ...
+
+
+class Ingest:
+    """Parse the design and seed the e-graph with its roots.
+
+    The design comes from ``source`` (Verilog text), ``roots`` (named IR
+    trees) or — when neither is given — whatever the context already
+    carries.  Every output port shares one e-graph, so cross-output
+    subexpressions dedup and co-optimize.
+    """
+
+    name = "ingest"
+
+    def __init__(
+        self,
+        source: str | None = None,
+        roots: dict[str, Expr] | None = None,
+    ) -> None:
+        self.source = source
+        self.roots = dict(roots) if roots is not None else None
+
+    def run(self, ctx: PipelineContext) -> None:
+        if self.roots is not None:
+            ctx.roots = dict(self.roots)
+        elif self.source is not None:
+            # An explicit source always (re)parses — a reused context may
+            # still carry the previous design's roots.
+            ctx.source = self.source
+            ctx.roots = module_to_ir(self.source)
+        elif not ctx.roots:
+            if ctx.source is None:
+                raise ValueError("Ingest needs Verilog source or IR roots")
+            ctx.roots = module_to_ir(ctx.source)
+        # A new ingest starts a new run: clear results a previous design
+        # left on a reused context (output names overlap — every registry
+        # design calls its port "out" — so stale entries would otherwise be
+        # served by Extract's original-cost memo and the record summaries).
+        ctx.reports.clear()
+        ctx.extracted.clear()
+        ctx.original_costs.clear()
+        ctx.optimized_costs.clear()
+        ctx.equivalence.clear()
+        ctx.artifacts.clear()
+        ctx.egraph = EGraph([DatapathAnalysis(ctx.input_ranges)])
+        ctx.root_ids = {
+            name: ctx.egraph.add_expr(expr) for name, expr in ctx.roots.items()
+        }
+        ctx.egraph.rebuild()
+
+
+class CaseSplit:
+    """Designer-driven case splits on every root (Section V's future-work
+    hook: ``x = mux(c, assume(x, c), assume(x, !c))``)."""
+
+    name = "case-split"
+
+    def __init__(self, splits: Sequence[Expr]) -> None:
+        self.splits = tuple(splits)
+
+    def run(self, ctx: PipelineContext) -> None:
+        egraph = ctx.require_egraph()
+        for root_id in ctx.root_ids.values():
+            for split in self.splits:
+                case_split_on(egraph, root_id, split)
+
+
+class Saturate:
+    """One equality-saturation phase.
+
+    Instantiate several times with different rulesets/limits for phased
+    schedules (e.g. structural identities first, then constraint
+    exploitation, then narrowing); each instance appends its own
+    :class:`~repro.egraph.runner.RunnerReport` to the context.
+    """
+
+    name = "saturate"
+
+    def __init__(
+        self,
+        rules: Sequence[Rewrite] | None = None,
+        iter_limit: int = 8,
+        node_limit: int = 30_000,
+        time_limit: float = 60.0,
+        check_invariants: bool = False,
+        label: str | None = None,
+    ) -> None:
+        self.rules = list(rules) if rules is not None else compose_rules()
+        self.iter_limit = iter_limit
+        self.node_limit = node_limit
+        self.time_limit = time_limit
+        self.check_invariants = check_invariants
+        if label is not None:
+            self.name = label
+
+    def run(self, ctx: PipelineContext) -> None:
+        runner = Runner(
+            ctx.require_egraph(),
+            self.rules,
+            iter_limit=self.iter_limit,
+            node_limit=self.node_limit,
+            time_limit=self.time_limit,
+            check_invariants=self.check_invariants,
+        )
+        ctx.reports.append(runner.run())
+
+
+class Extract:
+    """Cost-based extraction with a pluggable objective.
+
+    ``key`` orders ``(delay, area)`` costs — the paper's delay-prioritized
+    weighted sum by default, or e.g. :func:`~repro.synth.cost.weighted_key`
+    for trade-off sweeps.  ASSUME wrappers are kept in the extracted tree by
+    default: the tree-level range analysis re-derives constraint refinements
+    from them, so netlist lowering and Verilog emission see the reduced
+    bitwidths.
+    """
+
+    name = "extract"
+
+    def __init__(
+        self,
+        key: Callable[[float, float], tuple] | None = None,
+        strip_assumes: bool = False,
+        label: str | None = None,
+    ) -> None:
+        self.key = key if key is not None else default_key
+        self.strip_assumes = strip_assumes
+        if label is not None:
+            self.name = label
+
+    def run(self, ctx: PipelineContext) -> None:
+        from repro.opt.report import model_cost  # avoid a package-import cycle
+
+        extractor = Extractor(
+            ctx.require_egraph(),
+            DelayAreaCost(self.key),
+            strip_assumes=self.strip_assumes,
+        )
+        for name, expr in ctx.roots.items():
+            optimized = extractor.expr_of(ctx.root_ids[name])
+            ctx.extracted[name] = optimized
+            # The behavioural cost is objective-independent; objective
+            # sweeps re-run Extract on one context, so compute it once.
+            if name not in ctx.original_costs:
+                ctx.original_costs[name] = model_cost(expr, ctx.input_ranges)
+            ctx.optimized_costs[name] = model_cost(optimized, ctx.input_ranges)
+
+
+class Verify:
+    """Equivalence-check every extracted root against its behavioural tree.
+
+    ``strict=True`` (the default, matching the tool) raises on a proved
+    non-equivalence — an optimizer soundness bug must never emit RTL.
+    """
+
+    name = "verify"
+
+    def __init__(self, strict: bool = True, random_trials: int | None = None) -> None:
+        self.strict = strict
+        self.random_trials = random_trials
+
+    def run(self, ctx: PipelineContext) -> None:
+        if not ctx.extracted:
+            raise RuntimeError("Verify needs an Extract stage to run first")
+        for name, expr in ctx.roots.items():
+            optimized = ctx.extracted[name]
+            kwargs = {}
+            if self.random_trials is not None:
+                kwargs["random_trials"] = self.random_trials
+            verdict = check_equivalent(
+                expr, optimized, ctx.input_ranges, **kwargs
+            )
+            ctx.equivalence[name] = verdict
+            if self.strict and verdict.equivalent is False:
+                raise AssertionError(
+                    f"optimizer produced a non-equivalent design for "
+                    f"{name!r} at {verdict.counterexample}"
+                )
+
+
+class Emit:
+    """Render the extracted design as a Verilog module artifact."""
+
+    name = "emit"
+
+    def __init__(self, module_name: str = "optimized") -> None:
+        self.module_name = module_name
+
+    def run(self, ctx: PipelineContext) -> None:
+        if not ctx.extracted:
+            raise RuntimeError("Emit needs an Extract stage to run first")
+        ctx.artifacts["verilog"] = emit_verilog(
+            dict(ctx.extracted), self.module_name, ctx.input_ranges
+        )

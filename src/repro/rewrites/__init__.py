@@ -17,14 +17,22 @@ keeping rules sound over the paper's ``Z' = Z ∪ {*}`` semantics.
 """
 
 from repro.rewrites.rulesets import (
+    RULESETS,
     all_rules,
     arith_rules,
     assume_rules,
+    assume_ruleset,
     casesplit_rules,
+    casesplit_ruleset,
+    compose_rules,
     condition_rules,
+    condition_ruleset,
     mux_rules,
+    narrowing_ruleset,
     range_rules,
+    ruleset,
     shift_rules,
+    structural_ruleset,
 )
 
 __all__ = [
@@ -36,4 +44,12 @@ __all__ = [
     "range_rules",
     "casesplit_rules",
     "all_rules",
+    "structural_ruleset",
+    "assume_ruleset",
+    "condition_ruleset",
+    "narrowing_ruleset",
+    "casesplit_ruleset",
+    "RULESETS",
+    "ruleset",
+    "compose_rules",
 ]

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.egraph.egraph import EGraph
 from repro.egraph.enode import ENode
-from repro.egraph.rewrite import Rewrite, dynamic, rewrite
+from repro.egraph.rewrite import Rewrite, dynamic
 from repro.ir import ops
 from repro.ir.expr import Expr
 

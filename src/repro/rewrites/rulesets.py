@@ -27,7 +27,87 @@ __all__ = [
     "range_rules",
     "casesplit_rules",
     "all_rules",
+    "structural_ruleset",
+    "assume_ruleset",
+    "condition_ruleset",
+    "narrowing_ruleset",
+    "casesplit_ruleset",
+    "RULESETS",
+    "ruleset",
+    "compose_rules",
 ]
+
+
+def structural_ruleset() -> list[Rewrite]:
+    """Domain-free word-level identities: arithmetic, shifts, muxes."""
+    rules: list[Rewrite] = []
+    rules += arith_rules()
+    rules += shift_rules()
+    rules += mux_rules()
+    rules += [mux_pull_rule(), mux_cond_const_rule()]
+    return rules
+
+
+def assume_ruleset() -> list[Rewrite]:
+    """Table I: ASSUME introduction, distribution, merging, mux pruning."""
+    return assume_rules()
+
+
+def condition_ruleset() -> list[Rewrite]:
+    """Section IV-C condition rewriting (comparison re-association)."""
+    return condition_rules()
+
+
+def narrowing_ruleset() -> list[Rewrite]:
+    """Range-driven narrowing: truncation removal, width reduction."""
+    return range_rules()
+
+
+def casesplit_ruleset(threshold: int = 1) -> list[Rewrite]:
+    """Section V case splitting at the given threshold."""
+    return casesplit_rules(threshold)
+
+
+#: Named ruleset registry for phased schedules (CLI / Session job specs
+#: reference rulesets by these names).  ``casesplit`` uses the default
+#: threshold; use :func:`casesplit_ruleset` directly to parameterize it.
+RULESETS: dict[str, object] = {
+    "structural": structural_ruleset,
+    "assume": assume_ruleset,
+    "condition": condition_ruleset,
+    "narrowing": narrowing_ruleset,
+    "casesplit": casesplit_ruleset,
+}
+
+
+def ruleset(name: str) -> list[Rewrite]:
+    """Look up one named ruleset (see :data:`RULESETS`)."""
+    if name not in RULESETS:
+        raise KeyError(f"unknown ruleset {name!r}; have {sorted(RULESETS)}")
+    return RULESETS[name]()
+
+
+def compose_rules(
+    split_threshold: int | None = 1,
+    enable_assume: bool = True,
+    enable_condition: bool = True,
+) -> list[Rewrite]:
+    """Explicit composition of the optimizer's default schedule.
+
+    This is the single-phase rule selection :class:`~repro.opt.optimizer.
+    OptimizerConfig` runs (the ablation switches drop whole rulesets rather
+    than filtering rules by name prefix); phased schedules compose the same
+    rulesets across several ``Saturate`` stages instead.
+    """
+    rules = structural_ruleset()
+    if enable_assume:
+        rules += assume_ruleset()
+    if enable_condition:
+        rules += condition_ruleset()
+    rules += narrowing_ruleset()
+    if split_threshold is not None:
+        rules += casesplit_ruleset(split_threshold)
+    return rules
 
 
 def all_rules(split_threshold: int | None = 1) -> list[Rewrite]:
@@ -35,14 +115,4 @@ def all_rules(split_threshold: int | None = 1) -> list[Rewrite]:
 
     ``split_threshold=None`` omits the case-split rule (ablation hook).
     """
-    rules: list[Rewrite] = []
-    rules += arith_rules()
-    rules += shift_rules()
-    rules += mux_rules()
-    rules += [mux_pull_rule(), mux_cond_const_rule()]
-    rules += assume_rules()
-    rules += condition_rules()
-    rules += range_rules()
-    if split_threshold is not None:
-        rules += casesplit_rules(split_threshold)
-    return rules
+    return compose_rules(split_threshold)

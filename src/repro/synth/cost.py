@@ -19,12 +19,13 @@ bits prices as the narrower operator — this is how bitwidth reduction
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
-from repro.analysis import range_of, width_of
+from repro.analysis import range_of, range_width
 from repro.egraph.egraph import EGraph
 from repro.egraph.enode import ENode
 from repro.egraph.extract import CostFunction
+from repro.intervals import IntervalSet
 from repro.ir import ops
 from repro.synth.models import area_model, delay_model
 
@@ -65,6 +66,51 @@ def weighted_key(delay_weight: float, area_weight: float) -> Callable[[float, fl
     return key
 
 
+#: Operand positions whose constant-ness the model reads, per operator:
+#: shifts only consult the shift amount (operand 1); comparisons and
+#: add/sub consult both operands.  For anything else callers may pass
+#: all-False without affecting the result.
+CONST_HINT_POSITIONS = {
+    ops.SHL: (1,), ops.SHR: (1,),
+    ops.LT: (0, 1), ops.LE: (0, 1), ops.GT: (0, 1), ops.GE: (0, 1),
+    ops.EQ: (0, 1), ops.NE: (0, 1), ops.ADD: (0, 1), ops.SUB: (0, 1),
+}
+
+
+def operator_model(
+    op,
+    result_range: IntervalSet,
+    operand_ranges: Sequence[IntervalSet],
+    operand_is_const: Sequence[bool],
+) -> tuple[float, float]:
+    """Section IV-D (delay, area) of one operator instance, given ranges.
+
+    The single source of the model's width/constant/shift-level derivation:
+    both the e-graph extraction cost (:class:`DelayAreaCost`) and the
+    tree-level cost (:func:`repro.opt.report.model_cost`) price operators
+    through here, which is what keeps the two paths in exact parity.
+    """
+    width = range_width(result_range)
+    operand_widths = tuple(range_width(r) for r in operand_ranges)
+
+    shift_levels: int | None = None
+    const_operand = False
+    if op in (ops.SHL, ops.SHR):
+        if not operand_is_const[1]:
+            top = operand_ranges[1].max()
+            shift_levels = max(top, 1).bit_length() if top is not None else 6
+    elif op in (ops.LT, ops.LE, ops.GT, ops.GE, ops.EQ, ops.NE, ops.ADD, ops.SUB):
+        const_operand = any(operand_is_const)
+
+    kwargs = {
+        "width": width,
+        "operand_widths": operand_widths,
+        "shift_levels": shift_levels,
+        "const_operand": const_operand,
+    }
+    return delay_model(op, **kwargs), area_model(op, **kwargs)
+
+
 class DelayAreaCost(CostFunction):
     """Section IV-D's theoretical model as an extraction cost function."""
 
@@ -89,28 +135,16 @@ class DelayAreaCost(CostFunction):
         return DelayArea(delay, area, self.key(delay, area))
 
     def _model(self, egraph: EGraph, class_id: int, enode: ENode) -> tuple[float, float]:
-        op = enode.op
-        width = width_of(egraph, class_id)
-        operand_widths = tuple(width_of(egraph, c) for c in enode.children)
-
-        shift_levels: int | None = None
-        const_operand = False
-        if op in (ops.SHL, ops.SHR):
-            amount = enode.children[1]
-            if egraph.class_const(amount) is not None:
-                shift_levels = None  # constant shift: wiring only
-            else:
-                top = range_of(egraph, amount).max()
-                shift_levels = max(top, 1).bit_length() if top is not None else 6
-        elif op in (ops.LT, ops.LE, ops.GT, ops.GE, ops.EQ, ops.NE, ops.ADD, ops.SUB):
-            const_operand = any(
-                egraph.class_const(c) is not None for c in enode.children
+        # class_const scans the child's member set — only pay for it at the
+        # operand positions whose model actually reads the hint.
+        consts = [False] * len(enode.children)
+        for position in CONST_HINT_POSITIONS.get(enode.op, ()):
+            consts[position] = (
+                egraph.class_const(enode.children[position]) is not None
             )
-
-        kwargs = {
-            "width": width,
-            "operand_widths": operand_widths,
-            "shift_levels": shift_levels,
-            "const_operand": const_operand,
-        }
-        return delay_model(op, **kwargs), area_model(op, **kwargs)
+        return operator_model(
+            enode.op,
+            range_of(egraph, class_id),
+            [range_of(egraph, c) for c in enode.children],
+            consts,
+        )

@@ -14,7 +14,7 @@ reproduction targets *relative* delay/area (see DESIGN.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 NOT_DELAY = 0.4

@@ -1,0 +1,117 @@
+"""The constraint-class membership cache vs the uncached reference path.
+
+``decode_constr`` used to rescan every member of a constraint e-class on
+every ASSUME ``make`` (~15% of rebuild time on the case study).  The scan is
+now cached per canonical class keyed by the class's membership revision;
+these tests drive both paths over identical workloads — including membership
+mutations through unions, the invalidation case — and require identical
+abstractions.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import DatapathAnalysis, range_of
+from repro.analysis.constr import constr_candidates
+from repro.egraph import EGraph
+from repro.ir import assume, eq, ge, gt, le, lnot, lt, ne, var
+
+COMPARISONS = {
+    "lt": lt, "le": le, "gt": gt, "ge": ge, "eq": eq, "ne": ne,
+}
+
+constraint_specs = st.lists(
+    st.tuples(
+        st.sampled_from(sorted(COMPARISONS)),
+        st.integers(min_value=0, max_value=255),
+        st.booleans(),  # target on the left / right
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def _cond(spec, x):
+    op_name, k, target_left = spec
+    build = COMPARISONS[op_name]
+    return build(x, k) if target_left else build(k, x)
+
+
+def _flipped(spec, x):
+    """A sound equivalent form (what condition rewriting would merge in)."""
+    flip = {"lt": "gt", "gt": "lt", "le": "ge", "ge": "le", "eq": "eq", "ne": "ne"}
+    op_name, k, target_left = spec
+    return _cond((flip[op_name], k, not target_left), x)
+
+
+def _run(specs, constr_cache: bool):
+    """Ranges of the ASSUME root before and after a membership mutation."""
+    egraph = EGraph([DatapathAnalysis(constr_cache=constr_cache)])
+    x = var("x", 8)
+    conds = [_cond(spec, x) for spec in specs]
+    root = egraph.add_expr(assume(x, *conds))
+    egraph.rebuild()
+    first = range_of(egraph, root)
+
+    # Mutate constraint-class membership the way condition rewriting does:
+    # merge each comparison with its mirrored form, then recheck.
+    for spec, cond in zip(specs, conds):
+        egraph.union(egraph.add_expr(cond), egraph.add_expr(_flipped(spec, x)))
+    egraph.rebuild()
+    second = range_of(egraph, root)
+    return first, second
+
+
+class TestCachedDecodeMatchesUncached:
+    @settings(max_examples=60, deadline=None)
+    @given(specs=constraint_specs)
+    def test_property_cached_equals_uncached(self, specs):
+        cached = _run(specs, constr_cache=True)
+        uncached = _run(specs, constr_cache=False)
+        assert cached == uncached
+
+    def test_negated_constraint(self):
+        for flag in (True, False):
+            egraph = EGraph([DatapathAnalysis(constr_cache=flag)])
+            x = var("x", 8)
+            root = egraph.add_expr(assume(x, lnot(x)))
+            egraph.rebuild()
+            if flag:
+                reference = range_of(egraph, root)
+            else:
+                assert range_of(egraph, root) == reference
+
+
+class TestCandidateCache:
+    def test_cache_hit_returns_same_scan(self):
+        egraph = EGraph([DatapathAnalysis()])
+        x = var("x", 8)
+        cid = egraph.add_expr(gt(x, 5))
+        egraph.rebuild()
+        cache: dict = {}
+        first = constr_candidates(egraph, egraph.find(cid), cache)
+        second = constr_candidates(egraph, egraph.find(cid), cache)
+        assert first is second  # served from the cache, not rescanned
+        assert [n.op.name for n in first] == ["GT"]
+
+    def test_union_invalidates_via_rev(self):
+        egraph = EGraph([DatapathAnalysis()])
+        x = var("x", 8)
+        cid = egraph.add_expr(gt(x, 5))
+        other = egraph.add_expr(lt(5, x))
+        egraph.rebuild()
+        cache: dict = {}
+        before = constr_candidates(egraph, egraph.find(cid), cache)
+        assert len(before) == 1
+        egraph.union(cid, other)
+        egraph.rebuild()
+        after = constr_candidates(egraph, egraph.find(cid), cache)
+        assert len(after) == 2  # the merged member is visible
+
+    def test_uncached_path_never_touches_cache(self):
+        egraph = EGraph([DatapathAnalysis(constr_cache=False)])
+        x = var("x", 8)
+        root = egraph.add_expr(assume(x, ge(x, 7)))
+        egraph.rebuild()
+        assert egraph.data(root, "datapath").iset.min() == 7
+        assert egraph.analyses[0]._constr_cache is None

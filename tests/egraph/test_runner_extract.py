@@ -11,7 +11,6 @@ from repro.egraph import (
 )
 from repro.egraph.runner import BackoffScheduler
 from repro.ir import ops, var
-from repro.ir.expr import const
 
 
 BASIC_RULES = [
@@ -60,8 +59,6 @@ class TestRunner:
         assert report.stop_reason is StopReason.NODE_LIMIT
 
     def test_once_rules_fire_once(self):
-        from repro.egraph.rewrite import Rewrite
-
         g = EGraph()
         g.add_expr(var("x", 4) + 0)
         rule = rewrite("add-zero-once", "(+ ?a 0)", "?a", once=True)

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.ir import (
-    ABS, ADD, ASSUME, CONST, MUX, SUB, VAR,
-    abs_, assume, const, eq, gt, lzc, mux, trunc, var,
+    ADD, SUB, VAR,
+    assume, const, gt, lzc, mux, trunc, var,
 )
 from repro.ir.expr import Expr, pretty, subterms
 
@@ -55,6 +55,26 @@ class TestSugar:
     def test_mux_lifts_ints(self):
         m = mux(1, 2, 3)
         assert all(c.is_const for c in m.children)
+
+
+class TestHashing:
+    def test_hash_is_structural_and_cached(self):
+        a = mux(gt(var("x", 8), 3), var("x", 8) + 1, const(0))
+        b = mux(gt(var("x", 8), 3), var("x", 8) + 1, const(0))
+        assert a == b and hash(a) == hash(b)
+        assert hash(a) == hash(a)  # second call served from the cache
+
+    def test_pickle_resets_cached_hash(self):
+        """The cached hash is process-local (str hashing is randomized):
+        unpickled trees must recompute it, not trust the pickled value."""
+        import pickle
+
+        original = mux(gt(var("x", 8), 3), var("x", 8) + 1, const(0))
+        hash(original)  # populate the cache before pickling
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone._hash == -1  # comes back uncached
+        assert clone == original and hash(clone) == hash(original)
+        assert {original: 1}[clone] == 1  # dict lookup across the pair works
 
 
 class TestTraversal:

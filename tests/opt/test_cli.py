@@ -1,4 +1,6 @@
-"""The command-line interface and the DOT export."""
+"""The command-line interface (subcommands + legacy form) and DOT export."""
+
+import json
 
 import pytest
 
@@ -29,7 +31,8 @@ class TestCli:
         with pytest.raises(argparse.ArgumentTypeError):
             parse_range("x128")
 
-    def test_end_to_end(self, tmp_path, capsys):
+    def test_legacy_invocation_maps_to_optimize(self, tmp_path, capsys):
+        """`python -m repro design.v` (no subcommand) must keep working."""
         src = tmp_path / "toy.v"
         src.write_text(SOURCE)
         out = tmp_path / "opt.v"
@@ -43,13 +46,101 @@ class TestCli:
         report = capsys.readouterr().err
         assert "delay" in report and "EQUIVALENT" in report
 
+    def test_optimize_subcommand_with_new_flags(self, tmp_path, capsys):
+        src = tmp_path / "toy.v"
+        src.write_text(SOURCE)
+        out = tmp_path / "opt.v"
+        code = main(
+            [
+                "optimize", str(src), "-o", str(out),
+                "--iters", "5", "--time-limit", "30",
+                "--split-threshold", "2", "--no-verify",
+            ]
+        )
+        assert code == 0
+        assert "module optimized" in out.read_text()
+        assert "not checked" in capsys.readouterr().err
+
     def test_parser_flags(self):
         parser = build_parser()
         args = parser.parse_args(
-            ["f.v", "--range", "x=0:3", "--no-verify", "--nodes", "100"]
+            [
+                "optimize", "f.v", "--range", "x=0:3", "--no-verify",
+                "--nodes", "100", "--time-limit", "7.5", "--split-threshold", "3",
+            ]
         )
         assert args.ranges[0][0] == "x"
         assert args.no_verify and args.nodes == 100
+        assert args.time_limit == 7.5 and args.split_threshold == 3
+
+
+class TestSubcommands:
+    def test_bench_writes_records_and_report_reads_them(self, tmp_path, capsys):
+        records = tmp_path / "records.json"
+        code = main(
+            [
+                "bench", "--designs", "lzc_example", "--iters", "3",
+                "--nodes", "6000", "--records", str(records),
+            ]
+        )
+        assert code == 0
+        table = capsys.readouterr().out
+        assert "lzc_example" in table and "Optimized" in table
+
+        saved = json.loads(records.read_text())
+        assert len(saved) == 1 and saved[0]["design"] == "lzc_example"
+
+        # A second bench appends rather than overwrites.
+        assert main(
+            [
+                "bench", "--designs", "lzc_example", "--iters", "3",
+                "--nodes", "6000", "--records", str(records),
+            ]
+        ) == 0
+        assert len(json.loads(records.read_text())) == 2
+        capsys.readouterr()
+
+        assert main(["report", str(records)]) == 0
+        assert "lzc_example" in capsys.readouterr().out
+
+    def test_bench_records_preserve_dict_layout_files(self, tmp_path, capsys):
+        """Appending into a BENCH_perf.json-style payload must not destroy
+        the non-record keys."""
+        records = tmp_path / "perf.json"
+        records.write_text(json.dumps({"wall_s": 0.2, "records": []}))
+        assert main(
+            [
+                "bench", "--designs", "lzc_example", "--iters", "3",
+                "--nodes", "6000", "--records", str(records),
+            ]
+        ) == 0
+        capsys.readouterr()
+        saved = json.loads(records.read_text())
+        assert saved["wall_s"] == 0.2
+        assert len(saved["records"]) == 1
+
+    def test_sweep_prints_objective_curve(self, capsys):
+        code = main(
+            ["sweep", "lzc_example", "--iters", "3", "--area-weights", "0,0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "area_weight" in out
+        assert len([line for line in out.splitlines() if line.strip()]) >= 3
+
+    def test_bench_unknown_design_fails_cleanly(self, capsys):
+        code = main(["bench", "--designs", "nope", "--iters", "2"])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_report_flags_failed_records(self, tmp_path, capsys):
+        """`report` uses the same exit contract as `bench`."""
+        records = tmp_path / "records.json"
+        records.write_text(json.dumps([
+            {"job": "bad", "design": "nope", "status": "error", "error": "boom"}
+        ]))
+        assert main(["report", str(records)]) == 1
+        assert "FAILED" in capsys.readouterr().err
 
 
 class TestDot:

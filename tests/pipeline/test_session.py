@@ -1,0 +1,135 @@
+"""Batch sessions over the registry and the RunRecord trajectory format."""
+
+import json
+
+import pytest
+
+import repro.pipeline.session as session_mod
+from repro.designs import DESIGNS
+from repro.pipeline import Job, RunRecord, Session, execute_job
+
+FAST = dict(iter_limit=3, node_limit=6_000)
+
+#: Fields that are deterministic across runs of the same job (timings and
+#: whole-run wall time are not).
+STABLE_FIELDS = (
+    "job",
+    "design",
+    "output",
+    "status",
+    "stop_reason",
+    "iterations",
+    "nodes",
+    "classes",
+    "original_delay",
+    "original_area",
+    "optimized_delay",
+    "optimized_area",
+    "verified",
+)
+
+
+def stable(record: RunRecord) -> tuple:
+    return tuple(getattr(record, name) for name in STABLE_FIELDS)
+
+
+class TestSessionBatch:
+    def test_batch_covers_every_registry_design(self):
+        session = Session.for_designs(**FAST)
+        records = session.run()
+        assert len(records) == len(DESIGNS) >= 4
+        assert [r.job for r in records] == sorted(DESIGNS)
+        for record in records:
+            assert record.status == "ok", record.error
+            assert record.stop_reason
+            assert record.optimized_delay <= record.original_delay
+            assert set(record.stage_timings) >= {"ingest", "saturate", "extract"}
+
+    def test_parallel_run_uses_process_workers(self, monkeypatch):
+        calls = []
+        real_executor = session_mod.ProcessPoolExecutor
+
+        class CountingExecutor(real_executor):
+            def __init__(self, *args, **kwargs):
+                calls.append(kwargs.get("max_workers"))
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(session_mod, "ProcessPoolExecutor", CountingExecutor)
+        session = Session.for_designs(**FAST)
+        parallel = session.run(parallel=True, max_workers=2)
+        assert calls == [2], "parallel=True must go through the process pool"
+
+        serial = session.run(parallel=False)
+        assert [stable(r) for r in parallel] == [stable(r) for r in serial]
+
+    def test_serial_run_stays_in_process(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("serial run must not spawn workers")
+
+        monkeypatch.setattr(session_mod, "ProcessPoolExecutor", boom)
+        records = Session.for_designs(["lzc_example"], **FAST).run()
+        assert records[0].status == "ok"
+
+    def test_verify_flag_fills_verdicts(self):
+        records = Session.for_designs(["lzc_example"], verify=True, **FAST).run()
+        assert records[0].verified is True
+
+    def test_failed_job_yields_error_record(self):
+        records = Session([Job(name="bad", design="no-such-design")]).run()
+        assert records[0].status == "error"
+        assert "no-such-design" in records[0].error
+        # Error records serialize like any other.
+        assert RunRecord.from_json(records[0].to_json()) == records[0]
+
+    def test_phased_job_schedule(self):
+        job = Job(
+            name="phased",
+            design="lzc_example",
+            phases=(("structural",), ("assume", "condition", "narrowing")),
+            phase_iters=3,
+            **FAST,
+        )
+        record = execute_job(job)
+        assert record.status == "ok", record.error
+        labels = set(record.stage_timings)
+        assert "saturate:structural" in labels
+        assert "saturate:assume+condition+narrowing" in labels
+
+
+class TestRunRecordSerialization:
+    def test_json_roundtrip_exact(self):
+        record = execute_job(Job(name="rt", design="lzc_example", **FAST))
+        clone = RunRecord.from_json(record.to_json())
+        assert clone == record
+        # And the JSON itself is stable under a second round trip.
+        assert clone.to_json() == record.to_json()
+
+    def test_json_is_plain_data(self):
+        record = execute_job(Job(name="plain", design="lzc_example", **FAST))
+        payload = json.loads(record.to_json())
+        assert payload["design"] == "lzc_example"
+        assert isinstance(payload["stage_timings"], dict)
+
+    def test_from_dict_tolerates_unknown_keys(self):
+        """Old trajectory files with extra fields keep loading."""
+        record = RunRecord.from_dict(
+            {"job": "x", "design": "y", "legacy_field": 123}
+        )
+        assert record.job == "x" and record.design == "y"
+
+    def test_add_builds_jobs(self):
+        session = Session()
+        session.add(design="lzc_example", iter_limit=2)
+        job = session.add(Job(name="explicit", design="fp_sub"))
+        assert [j.name for j in session.jobs] == ["lzc_example", "explicit"]
+        assert job.design == "fp_sub"
+
+
+@pytest.mark.slow
+class TestSessionSlow:
+    def test_parallel_full_registry_with_verification(self):
+        records = Session.for_designs(verify=True, iter_limit=4).run(
+            parallel=True
+        )
+        assert all(r.status == "ok" for r in records)
+        assert all(r.verified in (True, None) for r in records)

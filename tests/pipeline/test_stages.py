@@ -1,0 +1,204 @@
+"""The composable pipeline: stages over a shared context."""
+
+import pytest
+
+from repro.designs import get_design
+from repro.intervals import IntervalSet
+from repro.ir import gt, var
+from repro.pipeline import (
+    CaseSplit,
+    Emit,
+    Extract,
+    Ingest,
+    Pipeline,
+    PipelineContext,
+    Saturate,
+    Stage,
+    Verify,
+)
+from repro.rewrites import compose_rules, structural_ruleset
+from repro.synth.cost import weighted_key
+
+
+class TestStageProtocol:
+    def test_concrete_stages_satisfy_protocol(self):
+        stages = [
+            Ingest(roots={"out": var("x", 4)}),
+            CaseSplit([gt(var("x", 4), 3)]),
+            Saturate(iter_limit=1),
+            Extract(),
+            Verify(),
+            Emit(),
+        ]
+        for stage in stages:
+            assert isinstance(stage, Stage)
+            assert isinstance(stage.name, str) and stage.name
+
+    def test_custom_stage_composes(self):
+        """Anything with a name and run(ctx) slots into a pipeline."""
+
+        class Tap:
+            name = "tap"
+
+            def __init__(self):
+                self.seen = None
+
+            def run(self, ctx):
+                self.seen = ctx.report.stop_reason.value
+
+        tap = Tap()
+        design = get_design("lzc_example")
+        Pipeline(
+            [Ingest(source=design.verilog), Saturate(iter_limit=2), tap]
+        ).run(input_ranges=design.input_ranges)
+        assert tap.seen is not None
+
+
+class TestPipelineRun:
+    def test_ingest_requires_a_design(self):
+        with pytest.raises(ValueError):
+            Pipeline([Ingest()]).run()
+
+    def test_rewrite_stages_require_ingest(self):
+        ctx = PipelineContext()
+        with pytest.raises(RuntimeError):
+            Saturate(iter_limit=1).run(ctx)
+
+    def test_timings_record_every_stage(self):
+        design = get_design("lzc_example")
+        ctx = Pipeline(
+            [Ingest(source=design.verilog), Saturate(iter_limit=2), Extract()]
+        ).run(input_ranges=design.input_ranges)
+        assert [label for label, _ in ctx.timings] == ["ingest", "saturate", "extract"]
+        assert ctx.total_seconds > 0
+
+    def test_repeated_stage_labels_are_suffixed(self):
+        design = get_design("lzc_example")
+        ctx = Pipeline(
+            [
+                Ingest(source=design.verilog),
+                Saturate(iter_limit=1),
+                Saturate(iter_limit=1),
+                Extract(),
+            ]
+        ).run(input_ranges=design.input_ranges)
+        timings = ctx.stage_timings()
+        assert "saturate" in timings and "saturate#2" in timings
+
+    def test_reingesting_a_context_clears_previous_results(self):
+        """Re-running a pipeline on a reused context must not leak the
+        previous design's costs (all registry designs share output 'out')."""
+        first = get_design("lzc_example")
+        second = get_design("float_to_unorm")
+        ctx = Pipeline(
+            [Ingest(source=first.verilog), Saturate(iter_limit=2), Extract()]
+        ).run(input_ranges=first.input_ranges)
+        stale = ctx.original_costs["out"]
+
+        Pipeline(
+            [Ingest(source=second.verilog), Saturate(iter_limit=2), Extract()]
+        ).run(ctx, input_ranges=second.input_ranges)
+        assert ctx.original_costs["out"] != stale
+        assert len(ctx.reports) == 1  # not accumulated across designs
+
+    def test_changing_ranges_without_reingest_is_rejected(self):
+        """Swapping input ranges under a saturated e-graph would desync the
+        analysis; only a pipeline that re-ingests may change them."""
+        design = get_design("lzc_example")
+        ctx = Pipeline(
+            [Ingest(source=design.verilog), Saturate(iter_limit=2), Extract()]
+        ).run(input_ranges=design.input_ranges)
+        with pytest.raises(ValueError):
+            Pipeline([Verify()]).run(ctx, input_ranges={})
+        # Same ranges are fine (idempotent resume).
+        Pipeline([Verify()]).run(ctx, input_ranges=design.input_ranges)
+        assert ctx.equivalence["out"].ok
+
+    def test_verify_without_extract_is_a_clear_error(self):
+        design = get_design("lzc_example")
+        with pytest.raises(RuntimeError, match="Extract"):
+            Pipeline(
+                [Ingest(source=design.verilog), Saturate(iter_limit=1), Verify()]
+            ).run(input_ranges=design.input_ranges)
+
+    def test_emit_artifact(self):
+        design = get_design("lzc_example")
+        ctx = Pipeline(
+            [
+                Ingest(source=design.verilog),
+                Saturate(iter_limit=2),
+                Extract(),
+                Emit(module_name="swept"),
+            ]
+        ).run(input_ranges=design.input_ranges)
+        assert "module swept" in ctx.artifacts["verilog"]
+
+    def test_verify_stage_records_verdicts(self):
+        design = get_design("lzc_example")
+        ctx = Pipeline(
+            [Ingest(source=design.verilog), Saturate(iter_limit=3), Extract(), Verify()]
+        ).run(input_ranges=design.input_ranges)
+        assert ctx.equivalence["out"].ok
+
+
+class TestPhasedSchedules:
+    def test_two_phase_equals_single_phase_on_fp_sub(self):
+        """Splitting the default schedule across two Saturate stages lands on
+        the same extracted design as one stage with the summed budget."""
+        design = get_design("fp_sub")
+
+        def run(stage_iters):
+            stages = [Ingest(source=design.verilog)]
+            stages += [
+                Saturate(compose_rules(), iter_limit=n, node_limit=design.node_limit)
+                for n in stage_iters
+            ]
+            stages.append(Extract())
+            return Pipeline(stages).run(input_ranges=design.input_ranges)
+
+        single = run([4])
+        phased = run([2, 2])
+        assert len(phased.reports) == 2
+        assert phased.extracted["out"] == single.extracted["out"]
+        assert (
+            phased.optimized_costs["out"].key == single.optimized_costs["out"].key
+        )
+
+    def test_structural_phase_then_full_phase(self):
+        """A ROVER-style schedule: cheap identities first, constraints after."""
+        design = get_design("lzc_example")
+        ctx = Pipeline(
+            [
+                Ingest(source=design.verilog),
+                Saturate(structural_ruleset(), iter_limit=2, label="saturate:structural"),
+                Saturate(compose_rules(), iter_limit=3, label="saturate:full"),
+                Extract(),
+            ]
+        ).run(input_ranges=design.input_ranges)
+        assert ctx.optimized_costs["out"].delay < ctx.original_costs["out"].delay
+
+
+class TestExtractionObjectives:
+    def test_reextraction_under_swept_objectives(self):
+        """One saturation, many extractions: the pluggable-objective hook."""
+        design = get_design("fp_sub")
+        ctx = Pipeline(
+            [Ingest(source=design.verilog), Saturate(iter_limit=4, node_limit=design.node_limit)]
+        ).run(input_ranges=design.input_ranges)
+
+        delays = {}
+        for weight in (0.0, 0.05):
+            Extract(key=weighted_key(1.0, weight)).run(ctx)
+            cost = ctx.optimized_costs["out"]
+            delays[weight] = (cost.delay, cost.area)
+        # Pure-delay extraction is at least as fast as the area-weighted one.
+        assert delays[0.0][0] <= delays[0.05][0]
+
+    def test_input_ranges_reach_analysis(self):
+        x, y = var("x", 8), var("y", 8)
+        from repro.ir import lzc
+
+        ctx = Pipeline(
+            [Ingest(roots={"out": lzc(x + y, 9)}), Saturate(iter_limit=5), Extract()]
+        ).run(input_ranges={"x": IntervalSet.of(128, 255)})
+        assert ctx.optimized_costs["out"].delay < ctx.original_costs["out"].delay

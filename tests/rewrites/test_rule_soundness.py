@@ -16,9 +16,9 @@ import pytest
 
 from repro.analysis import DatapathAnalysis, range_of, total_of
 from repro.egraph import EGraph, Extractor, AstSizeCost, Runner
-from repro.ir import BOT, evaluate, ops, var
+from repro.ir import BOT, evaluate, var
 from repro.ir.expr import (
-    Expr, abs_, bitnot, const, eq, ge, gt, le, lnot, lt, lzc, max_, min_,
+    Expr, abs_, const, eq, ge, gt, le, lnot, lt, lzc, max_, min_,
     mux, ne, trunc,
 )
 from repro.rewrites import all_rules
@@ -79,7 +79,8 @@ def class_member_exprs(g: EGraph, extractor, class_id: int, cap: int = 6):
 def test_all_rules_preserve_semantics(seed):
     rng = random.Random(seed)
     g = EGraph([DatapathAnalysis()])
-    roots = [g.add_expr(random_expr(rng, 4)) for _ in range(4)]
+    for _ in range(4):
+        g.add_expr(random_expr(rng, 4))
     g.rebuild()
     Runner(g, all_rules(), iter_limit=4, node_limit=3000).run()
 
@@ -103,7 +104,6 @@ def test_all_rules_preserve_semantics(seed):
                 )
             checked += 1
     assert checked > 0  # the fuzz actually exercised merged classes
-    del roots
 
 
 @pytest.mark.parametrize("seed", range(8))

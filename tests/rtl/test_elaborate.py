@@ -6,7 +6,6 @@ import pytest
 
 from repro.ir.evaluate import evaluate_total, random_env
 from repro.rtl import ElaborationError, module_to_ir
-from repro.rtl.elaborate import _recognize_lzc  # structural test below
 
 
 def check(src, ref, widths, trials=400, seed=1):

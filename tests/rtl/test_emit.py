@@ -3,7 +3,7 @@
 import random
 
 from repro.designs import lzc_example_verilog
-from repro.ir.evaluate import evaluate_total, input_variables, random_env
+from repro.ir.evaluate import evaluate_total, random_env
 from repro.rtl import emit_verilog, module_to_ir
 
 

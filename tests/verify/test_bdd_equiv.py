@@ -3,7 +3,7 @@
 import pytest
 
 from repro.intervals import IntervalSet
-from repro.ir import abs_, assume, eq, gt, lzc, mux, trunc, var
+from repro.ir import abs_, assume, gt, lzc, mux, var
 from repro.verify import BDD, BddLimitError, check_equivalent
 from repro.verify.bdd import BDD as BDDClass
 
