@@ -24,10 +24,22 @@ from repro.analysis.datapath import (
     total_of,
     width_of,
 )
+from repro.analysis.sharding import (
+    ConeShard,
+    ShardPlan,
+    cone_shard,
+    plan_shards,
+    should_shard,
+)
 from repro.analysis.transfer import iset_transfer
 from repro.analysis.tree_ranges import expr_ranges, expr_totals, expr_width
 
 __all__ = [
+    "ConeShard",
+    "ShardPlan",
+    "cone_shard",
+    "plan_shards",
+    "should_shard",
     "AbsVal",
     "DatapathAnalysis",
     "ANALYSIS_NAME",

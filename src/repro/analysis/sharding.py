@@ -1,0 +1,147 @@
+"""Shard planning: slice a multi-output design into shared-nothing cones.
+
+ROVER (the paper's successor) scales to real RTL by decomposing designs and
+optimizing the pieces independently; this module is that decomposition for
+our pipeline.  A :class:`ConeShard` is a group of output cones plus exactly the
+input-range context those cones can observe — nothing else crosses the shard
+boundary, so shards can saturate in separate e-graphs (or separate
+processes) and the results merge by output name.
+
+Planning modes:
+
+* **per-output** (the default): one shard per output port.
+* **clustered** (``max_shards=K``): outputs are agglomerated greedily by
+  :func:`~repro.ir.cones.shared_weight` — the pair of clusters sharing the
+  most operator subterms merges first — until at most ``K`` shards remain.
+  Cones that genuinely share hardware co-optimize in one e-graph; unrelated
+  cones stay apart.
+
+The planner never mutates its inputs, and every produced shard carries its
+own ``dict`` copies: two shards share no mutable state (property-tested in
+``tests/analysis/test_cone_properties.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.intervals import IntervalSet
+from repro.ir.cones import cone_inputs, cone_size
+from repro.ir.expr import Expr, subterms
+
+
+@dataclass(frozen=True)
+class ConeShard:
+    """One shared-nothing slice of a design: cones + their range context."""
+
+    name: str
+    roots: dict[str, Expr]
+    input_ranges: dict[str, IntervalSet]
+
+    @property
+    def outputs(self) -> tuple[str, ...]:
+        return tuple(self.roots)
+
+    @property
+    def size(self) -> int:
+        """DAG size of the shard's cone."""
+        return cone_size(self.roots.values())
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The result of planning: shards plus whole-design measurements."""
+
+    shards: tuple[ConeShard, ...]
+    #: DAG size of the whole design (all outputs, shared subterms counted once).
+    design_size: int
+
+    @property
+    def is_trivial(self) -> bool:
+        """A plan that would not split anything."""
+        return len(self.shards) <= 1
+
+    def outputs(self) -> tuple[str, ...]:
+        return tuple(name for shard in self.shards for name in shard.roots)
+
+
+def cone_shard(
+    name: str,
+    roots: Mapping[str, Expr],
+    input_ranges: Mapping[str, IntervalSet] | None = None,
+) -> ConeShard:
+    """A shard over ``roots`` carrying only the ranges its cone can see."""
+    inputs = cone_inputs(roots.values())
+    ranges = {
+        var: iset
+        for var, iset in dict(input_ranges or {}).items()
+        if var in inputs
+    }
+    return ConeShard(name=name, roots=dict(roots), input_ranges=ranges)
+
+
+def plan_shards(
+    roots: Mapping[str, Expr],
+    input_ranges: Mapping[str, IntervalSet] | None = None,
+    max_shards: int | None = None,
+) -> ShardPlan:
+    """Slice ``roots`` into per-output shards, clustered down to ``max_shards``.
+
+    With ``max_shards=None`` every output gets its own shard.  With
+    ``max_shards=K`` the per-output cones are agglomerated greedily by
+    shared-subexpression weight until at most ``K`` remain; ties merge the
+    pair with the smallest combined cone first (balancing shard sizes), then
+    by output-name order (deterministic plans).
+    """
+    if max_shards is not None and max_shards < 1:
+        raise ValueError(f"max_shards must be >= 1, got {max_shards}")
+    names = sorted(roots)
+    clusters: list[list[str]] = [[name] for name in names]
+
+    if max_shards is not None:
+        # One subterm walk per output; merges union the precomputed sets, so
+        # a round costs set operations over cluster pairs, not tree walks.
+        cluster_subs: list[set[Expr]] = [subterms([roots[name]]) for name in names]
+        while len(clusters) > max_shards:
+            best: tuple | None = None
+            for i in range(len(clusters)):
+                for j in range(i + 1, len(clusters)):
+                    shared = cluster_subs[i] & cluster_subs[j]
+                    weight = sum(1 for node in shared if node.children)
+                    combined = len(cluster_subs[i] | cluster_subs[j])
+                    rank = (weight, -combined, clusters[i][0], clusters[j][0])
+                    if best is None or rank > best[0]:
+                        best = (rank, i, j)
+            assert best is not None
+            _rank, i, j = best
+            clusters[i] = sorted(clusters[i] + clusters[j])
+            cluster_subs[i] |= cluster_subs[j]
+            del clusters[j]
+            del cluster_subs[j]
+
+    shards = tuple(
+        cone_shard(
+            "+".join(member),
+            {name: roots[name] for name in member},
+            input_ranges,
+        )
+        for member in clusters
+    )
+    return ShardPlan(shards=shards, design_size=cone_size(roots.values()))
+
+
+def should_shard(
+    roots: Mapping[str, Expr],
+    node_threshold: int | None,
+) -> bool:
+    """Auto-split policy: shard when the design is wide *and* large.
+
+    A single-output design cannot be cone-sharded at all; a small
+    multi-output design saturates fine monolithically (and cross-output
+    sharing helps it).  Splitting pays once the combined DAG would eat the
+    node budget before any one cone finishes exploring.
+    """
+    if node_threshold is None or len(roots) < 2:
+        return False
+    return cone_size(roots.values()) >= node_threshold

@@ -69,6 +69,28 @@ def _add_optimize_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--module-name", default="optimized", help="name of the emitted module"
     )
+    _add_shard_arguments(parser)
+
+
+def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="cluster output cones into at most N shared-nothing shards, "
+        "each optimized in its own e-graph (0 = only auto-split, see "
+        "--auto-shard-nodes)",
+    )
+    parser.add_argument(
+        # 128 sits above every single-cone benchmark (the largest, the
+        # interpolation kernel, is a 61-node DAG) and below any genuinely
+        # wide design (the 8-lane stress module is 170).
+        "--auto-shard-nodes", type=int, default=128, metavar="SIZE",
+        help="auto-split a multi-output design per output cone once its DAG "
+        "reaches SIZE nodes (default: 128; 0 disables auto-splitting)",
+    )
+    parser.add_argument(
+        "--shard-parallel", action="store_true",
+        help="fan shards out over a process pool",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -103,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--records", metavar="FILE", help="append JSON run records to this file"
     )
+    _add_shard_arguments(bench)
 
     report = sub.add_parser("report", help="render a table from saved run records")
     report.add_argument("records", help="JSON file written by `bench --records`")
@@ -129,6 +152,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         time_limit=args.time_limit,
         verify=not args.no_verify,
         split_threshold=None if args.no_split else args.split_threshold,
+        shards=args.shards,
+        auto_shard_nodes=args.auto_shard_nodes or None,
+        shard_parallel=args.shard_parallel,
     )
     tool = DatapathOptimizer(dict(args.ranges), config)
     module = tool.optimize_verilog(source)
@@ -183,6 +209,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         node_limit=args.nodes,
         time_limit=args.time_limit,
         verify=args.verify,
+        shards=args.shards,
+        auto_shard_nodes=args.auto_shard_nodes or None,
+        shard_parallel=args.shard_parallel,
     )
     records = session.run(parallel=args.parallel, max_workers=args.workers)
 

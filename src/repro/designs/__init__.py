@@ -23,6 +23,7 @@ from repro.designs.conversions import (
 from repro.designs.interpolation import interpolation_verilog
 from repro.designs.lzc_example import lzc_example_input_ranges, lzc_example_verilog
 from repro.designs.registry import Design, DESIGNS, design_names, get_design
+from repro.designs.stress import stress_wide_input_ranges, stress_wide_verilog
 
 __all__ = [
     "Design",
@@ -39,4 +40,6 @@ __all__ = [
     "interpolation_verilog",
     "lzc_example_verilog",
     "lzc_example_input_ranges",
+    "stress_wide_verilog",
+    "stress_wide_input_ranges",
 ]

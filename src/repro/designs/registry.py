@@ -11,6 +11,7 @@ from repro.designs.conversions import (
 from repro.designs.fp_sub import fp_sub_behavioural_verilog, fp_sub_input_ranges
 from repro.designs.interpolation import interpolation_verilog
 from repro.designs.lzc_example import lzc_example_input_ranges, lzc_example_verilog
+from repro.designs.stress import stress_wide_input_ranges, stress_wide_verilog
 from repro.intervals import IntervalSet
 
 
@@ -64,6 +65,19 @@ def _designs() -> dict[str, Design]:
             output="out",
             input_ranges=lzc_example_input_ranges(),
             description="Figure 1: LZC(x+y) under x >= 128",
+        ),
+        "stress_wide": Design(
+            name="stress_wide",
+            verilog=stress_wide_verilog(),
+            output="out0",
+            input_ranges=stress_wide_input_ranges(),
+            iterations=4,
+            # Deliberately tight: eight cones cannot finish four iterations
+            # in one shared e-graph under this budget (the monolithic run
+            # stops on the node limit), while any single cone can — the
+            # sharding workload (see repro.pipeline.shard).
+            node_limit=8_000,
+            description="8-lane wide multi-output stress design (sharding)",
         ),
     }
 

@@ -1,0 +1,80 @@
+"""A wide multi-output stress design (the sharding workload).
+
+Eight independent-ish lanes, each a constraint-bearing datapath combining
+the repo's known optimization mechanisms — an LZC ladder narrowed by an
+input constraint (Figure 1), a dead clamp provable only through range
+analysis (the interpolation kernel's mechanism), and a deep linear
+accumulation chain that associativity/commutativity rebalance (and whose
+rewrite universe is *bounded*, so a lone cone genuinely saturates).  Odd
+lanes fold in the previous lane's sum, so adjacent cones share operator
+subterms (exercising clustered shard planning) while distant lanes share
+nothing.
+
+The point of this design is to be *too wide to saturate monolithically*:
+each cone saturates at a few thousand e-nodes, so eight cones in one
+shared e-graph blow the registry node limit while mid iterations are still
+in flight — whereas a per-output cone shard gets the whole budget to
+itself and runs to saturation.  The parity harness
+(``tests/pipeline/test_shard_parity.py``) pins this down: the monolithic
+run stops on the node limit, the sharded run completes, and every sharded
+result stays BDD-equivalent to its behavioural cone.
+"""
+
+from __future__ import annotations
+
+from repro.intervals import IntervalSet
+
+LANES = 8
+
+
+def _lzc_ladder(index: int) -> str:
+    arms = []
+    for k in range(9):
+        pattern = "0" * k + "1" + "?" * (8 - k)
+        arms.append(f"      9'b{pattern}: lz{index} = {k};")
+    arms.append(f"      default: lz{index} = 9;")
+    return (
+        "  always @(*) begin\n"
+        f"    casez (sum{index})\n" + "\n".join(arms) + "\n"
+        "    endcase\n"
+        "  end"
+    )
+
+
+def stress_wide_verilog(lanes: int = LANES) -> str:
+    """Generate the ``lanes``-output stress module."""
+    ports = []
+    for k in range(lanes):
+        ports += [f"  input [7:0] x{k}", f"  input [7:0] y{k}", f"  input [3:0] w{k}"]
+    ports += [f"  output [14:0] out{k}" for k in range(lanes)]
+    body = []
+    for k in range(lanes):
+        body.append(f"  wire [8:0] sum{k} = x{k} + y{k};")
+        body.append(f"  reg [3:0] lz{k};")
+        body.append(_lzc_ladder(k))
+        # Odd lanes mix in the previous lane's sum: a real shared
+        # subexpression between adjacent cones, invisible to distant ones.
+        mixed = f"sum{k - 1}" if k % 2 == 1 else f"sum{k}"
+        # A left-leaning 6-term accumulation chain: assoc/comm rebalance it
+        # to a tree (delay payoff), and — multiplication-free — its rewrite
+        # universe is bounded, so the cone alone saturates.
+        chain = f"(((({mixed} + w{k}) + x{k}) + y{k}) + sum{k})"
+        body.append(f"  wire [11:0] acc{k} = {chain} + w{k};")
+        # Dead clamp: the reachable maximum of acc is well under 3000, so
+        # range analysis proves the mux condition constant-false.
+        body.append(
+            f"  wire [11:0] clip{k} = (acc{k} > 12'd3000) ? 12'd3000 : acc{k};"
+        )
+        body.append(f"  assign out{k} = clip{k} + lz{k};")
+    return (
+        "module stress_wide (\n"
+        + ",\n".join(ports)
+        + "\n);\n"
+        + "\n".join(body)
+        + "\nendmodule\n"
+    )
+
+
+def stress_wide_input_ranges(lanes: int = LANES) -> dict[str, IntervalSet]:
+    """Figure 1's ``x >= 128`` constraint, per lane (narrows every LZC)."""
+    return {f"x{k}": IntervalSet.of(128, 255) for k in range(lanes)}

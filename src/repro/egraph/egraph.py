@@ -56,7 +56,13 @@ class EClass:
 
     id: int
     nodes: set[ENode] = field(default_factory=set)
-    parents: list[tuple[ENode, int]] = field(default_factory=list)
+    #: Parent set, keyed by the parent e-node (value: id of the class owning
+    #: it).  A dict instead of a list of tuples: unions concatenate parent
+    #: collections, and list-of-tuples `extend`s accumulated heavy duplication
+    #: on the hot path — the key dedups structurally, and merge becomes one
+    #: ``update``.  Entries may go stale (non-canonical keys / absorbed owner
+    #: ids) between a union and the next rebuild; readers resolve via ``find``.
+    parents: dict[ENode, int] = field(default_factory=dict)
     data: dict[str, Any] = field(default_factory=dict)
     #: Membership revision: bumped whenever ``nodes`` changes (a merge brings
     #: new members in, or a rebuild re-canonicalizes the set).  Analyses use
@@ -134,7 +140,7 @@ class EGraph:
         root = self.find(class_id)
         cls = self._classes[root]
         cls.data[analysis] = value
-        self._analysis_pending.extend(cls.parents)
+        self._analysis_pending.extend(cls.parents.items())
         for a in self.analyses:
             if a.name == analysis:
                 a.modify(self, root)
@@ -153,7 +159,7 @@ class EGraph:
         self._node_count += 1
         self._op_index.setdefault(enode.op, {})[enode] = class_id
         for child in set(enode.children):
-            self._classes[self._uf.find(child)].parents.append((enode, class_id))
+            self._classes[self._uf.find(child)].parents[enode] = class_id
         for analysis in self.analyses:
             eclass.data[analysis.name] = analysis.make(self, enode)
         for analysis in self.analyses:
@@ -227,7 +233,7 @@ class EGraph:
 
         # Congruence repair is deferred: every parent of the absorbed class
         # may now be congruent to a parent of the surviving class.
-        self._pending.extend(gone.parents)
+        self._pending.extend(gone.parents.items())
 
         keep_changed = gone_changed = False
         for analysis in self.analyses:
@@ -247,22 +253,21 @@ class EGraph:
         pend = self._analysis_pending
         for changed, parents in ((keep_changed, keep.parents), (gone_changed, gone.parents)):
             if changed:
-                pend.extend(parents)
+                pend.extend(parents.items())
             else:
-                pend.extend(p for p in parents if p[0].op is ops.ASSUME)
+                pend.extend(p for p in parents.items() if p[0].op is ops.ASSUME)
 
         # Track staleness for the incremental rebuild: the merged class and
         # every class owning a node that references the absorbed id need
         # their node sets (and op-index entries) re-canonicalized.
         self._dirty_classes.add(root)
-        for _parent, pid in gone.parents:
-            self._dirty_classes.add(pid)
+        self._dirty_classes.update(gone.parents.values())
 
         before = len(keep.nodes)
         keep.nodes |= gone.nodes
         keep.rev += 1
         self._node_count += len(keep.nodes) - before - len(gone.nodes)
-        keep.parents.extend(gone.parents)
+        keep.parents.update(gone.parents)
         for analysis in self.analyses:
             analysis.modify(self, root)
         return root
@@ -306,7 +311,7 @@ class EGraph:
                     new = analysis.join(old, analysis.make(self, enode))
                     if new != old:
                         eclass.data[analysis.name] = new
-                        self._analysis_pending.extend(eclass.parents)
+                        self._analysis_pending.extend(eclass.parents.items())
                         analysis.modify(self, root)
             if not budget:
                 self._analysis_pending.clear()
@@ -337,9 +342,9 @@ class EGraph:
                 eclass.rev += 1
             self._node_count += len(eclass.nodes) - len(old_nodes)
             fresh_parents: dict[ENode, int] = {}
-            for enode, pid in eclass.parents:
+            for enode, pid in eclass.parents.items():
                 fresh_parents[enode.canonical(find)] = find(pid)
-            eclass.parents = list(fresh_parents.items())
+            eclass.parents = fresh_parents
             touched.append((eclass, old_nodes))
 
         # Op-index repair in two passes: drop every stale key first, then
@@ -376,6 +381,24 @@ class EGraph:
                 if canon in seen:
                     assert seen[canon] == class_id, f"congruence violated at {canon}"
                 seen[canon] = class_id
+
+        # Parent sets: dict-keyed, so a parent e-node appears at most once
+        # per child class, and every entry resolves (through ``find``) to the
+        # class that owns the canonical form of the parent node and really
+        # references this class as a child.
+        for class_id, eclass in self._classes.items():
+            for penode, pid in eclass.parents.items():
+                canon = penode.canonical(find)
+                owner = self._hashcons.get(canon)
+                assert owner is not None, f"parent {canon} missing from hashcons"
+                assert find(owner) == find(pid), (
+                    f"parent entry {canon} claims owner {find(pid)}, "
+                    f"hashcons says {find(owner)}"
+                )
+                assert class_id in {find(c) for c in canon.children}, (
+                    f"parent {canon} recorded on class {class_id} but does "
+                    f"not reference it"
+                )
 
         # Incremental counters must agree with a full recomputation.
         swept = sum(len(c.nodes) for c in self._classes.values())

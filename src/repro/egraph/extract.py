@@ -110,7 +110,7 @@ class Extractor:
             if not improved:
                 continue
             self._best[root] = current
-            for _enode, pid in eclass.parents:
+            for pid in eclass.parents.values():
                 parent = find(pid)
                 if parent not in queued:
                     pending.append(parent)

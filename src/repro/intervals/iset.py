@@ -109,6 +109,16 @@ class IntervalSet:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Unpickling must route through ``__new__`` *with* the parts so the
+        # result is interned.  Pickle's default slots protocol calls
+        # ``__new__(cls)`` with no arguments — which returns the interned
+        # empty set — and then overwrites its slots in place, corrupting the
+        # intern table for every later ``IntervalSet.empty()`` in the
+        # receiving process.  (Shard fan-out pickles range contexts across
+        # process boundaries, so this path is load-bearing.)
+        return (IntervalSet, (self.parts,))
+
     # ----------------------------------------------------------- constructors
     @staticmethod
     def empty() -> "IntervalSet":

@@ -66,8 +66,12 @@ from repro.ir.expr import (
     var,
 )
 from repro.ir.evaluate import BOT, evaluate, evaluate_total, input_variables
+from repro.ir.cones import cone_inputs, cone_size, shared_weight
 
 __all__ = [
+    "cone_inputs",
+    "cone_size",
+    "shared_weight",
     "Op",
     "OPS_BY_NAME",
     "Expr",

@@ -1,0 +1,55 @@
+"""Output-cone slicing over IR trees.
+
+A *cone* is everything an output port can reach: the IR subterms feeding it
+and the input variables at its leaves.  Because IR roots are plain immutable
+trees, a cone is fully described by its root expressions — slicing a
+multi-output design means grouping roots, and the only real analysis is
+measuring what two cones *share* (so a shard planner can decide which cones
+are worth co-optimizing in one e-graph).
+
+These helpers are deliberately free of pipeline/e-graph imports: they are
+the IR-level substrate for :mod:`repro.analysis.sharding`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ir.evaluate import input_variables
+from repro.ir.expr import Expr, subterms
+
+
+def cone_inputs(roots: Iterable[Expr]) -> dict[str, int]:
+    """Input variables (name -> width) reachable from any of ``roots``.
+
+    Raises if the same name is used at two widths across the cone, exactly
+    as :func:`~repro.ir.evaluate.input_variables` does for one tree.
+    """
+    merged: dict[str, int] = {}
+    for root in roots:
+        for name, width in input_variables(root).items():
+            if merged.get(name, width) != width:
+                raise ValueError(f"variable {name} used at two widths")
+            merged[name] = width
+    return merged
+
+
+def cone_size(roots: Iterable[Expr]) -> int:
+    """Number of distinct subterms across the cone (its DAG size)."""
+    return len(subterms(roots))
+
+
+def _operators(roots: Iterable[Expr]) -> set[Expr]:
+    """Distinct hardware-bearing subterms (leaves carry no operators)."""
+    return {node for node in subterms(roots) if node.children}
+
+
+def shared_weight(a: Iterable[Expr], b: Iterable[Expr]) -> int:
+    """Shared-subexpression weight between two cones.
+
+    Counts the distinct *operator* subterms present in both cones — the
+    structure a joint e-graph would dedup and co-optimize.  Leaves (VAR /
+    CONST) are excluded: sharing an input wire costs nothing to replicate
+    across shards, so it should not pull cones into the same shard.
+    """
+    return len(_operators(a) & _operators(b))

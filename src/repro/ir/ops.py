@@ -49,6 +49,17 @@ class Op:
     def is_variadic(self) -> bool:
         return self.arity is None
 
+    def __reduce__(self):
+        # Operators are singletons and the whole codebase dispatches on
+        # identity (``op is ops.LZC``).  Unpickling must therefore resolve to
+        # the interned instance — the default by-value protocol would hand a
+        # worker process fresh Op objects that fail every identity check.
+        return (_restore_op, (self.name,))
+
+
+def _restore_op(name: str) -> "Op":
+    return OPS_BY_NAME[name]
+
 
 VAR = Op("VAR", 0, ("name", "width"))
 CONST = Op("CONST", 0, ("value",))

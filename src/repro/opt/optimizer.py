@@ -24,9 +24,12 @@ from repro.pipeline import (
     CaseSplit,
     Extract,
     Ingest,
+    MergeShards,
     Pipeline,
     PipelineContext,
     Saturate,
+    Shard,
+    ShardSchedule,
     Verify,
 )
 from repro.rewrites import compose_rules
@@ -54,6 +57,17 @@ class OptimizerConfig:
     enable_condition_rewriting: bool = True
     #: verify the optimized design against the original after extraction.
     verify: bool = True
+    #: intra-design cone sharding (see :mod:`repro.pipeline.shard`): cluster
+    #: output cones down to at most this many shared-nothing shards (0 = off
+    #: unless ``auto_shard_nodes`` triggers).  The sharded flow extracts with
+    #: the default objective inside each shard, so a custom
+    #: ``extraction_key`` composes with the monolithic flow only.
+    shards: int = 0
+    #: auto-split threshold: a multi-output design whose DAG reaches this
+    #: size shards per output cone (None disables auto-splitting).
+    auto_shard_nodes: int | None = None
+    #: fan shards out over a process pool.
+    shard_parallel: bool = False
     #: assert e-graph invariants after every runner iteration (tests only;
     #: the check sweeps the whole graph).
     check_invariants: bool = False
@@ -103,10 +117,18 @@ class OptimizationResult:
 
 @dataclass
 class ModuleResult:
-    """Results for a whole module (one entry per output port)."""
+    """Results for a whole module (one entry per output port).
+
+    ``egraph`` is the saturated monolithic e-graph — or ``None`` for a
+    sharded run, where each cone saturated in its own (worker-local) graph
+    and there is no single e-graph to hand back.  ``report`` is the last
+    saturation report; per-output reports live on the
+    :class:`OptimizationResult` entries (in a sharded run each output
+    carries its own shard's report).
+    """
 
     outputs: dict[str, OptimizationResult]
-    egraph: EGraph
+    egraph: EGraph | None
     report: RunnerReport
     #: The pipeline context of the run (per-stage timings, artifacts).
     context: PipelineContext | None = None
@@ -137,6 +159,51 @@ class DatapathOptimizer:
     ) -> Pipeline:
         """The stage list this config's one-call entrypoints run."""
         config = self.config
+        sharding = config.shards > 0 or config.auto_shard_nodes is not None
+        if sharding:
+            if user_splits:
+                # A CaseSplit stage mutates the monolithic e-graph, which the
+                # per-shard pipelines never see — silently dropping the
+                # designer's splits would be worse than refusing.
+                raise ValueError(
+                    "user case splits compose with the monolithic flow only"
+                )
+            if config.extraction_key is not default_key:
+                # Same rationale: shards extract with the default objective
+                # (the schedule that crosses process boundaries carries no
+                # callables), and silently swapping the objective would be
+                # worse than refusing.
+                raise ValueError(
+                    "a custom extraction_key composes with the monolithic "
+                    "flow only"
+                )
+            stages = [
+                # Parse only: each shard ingests its cone into its own
+                # e-graph, so the monolithic graph would be discarded work.
+                Ingest(
+                    source=source,
+                    roots=dict(roots) if roots else None,
+                    seed_egraph=False,
+                ),
+                Shard(
+                    ShardSchedule(
+                        iter_limit=config.iter_limit,
+                        node_limit=config.node_limit,
+                        time_limit=config.time_limit,
+                        split_threshold=config.split_threshold,
+                        enable_assume=config.enable_assume,
+                        enable_condition=config.enable_condition_rewriting,
+                        check_invariants=config.check_invariants,
+                    ),
+                    max_shards=config.shards if config.shards > 0 else None,
+                    auto_threshold=config.auto_shard_nodes,
+                    parallel=config.shard_parallel,
+                ),
+                MergeShards(),
+            ]
+            if config.verify:
+                stages.append(Verify(strict=True))
+            return Pipeline(stages)
         stages = [Ingest(source=source, roots=dict(roots) if roots else None)]
         if user_splits:
             stages.append(CaseSplit(user_splits))
@@ -184,13 +251,21 @@ class DatapathOptimizer:
         """Repackage a finished context into the stable result shape."""
         report = ctx.report
         runtime = ctx.total_seconds
+        # Sharded runs: each output's report is its own shard's, not the
+        # last one that happened to finish.
+        report_by_output = {
+            output: result.reports[-1]
+            for result in ctx.shard_results
+            for output in result.outputs
+            if result.reports
+        }
         outputs = {
             name: OptimizationResult(
                 original=expr,
                 optimized=ctx.extracted[name],
                 original_cost=ctx.original_costs[name],
                 optimized_cost=ctx.optimized_costs[name],
-                report=report,
+                report=report_by_output.get(name, report),
                 equivalence=ctx.equivalence.get(name),
                 runtime=runtime,
                 input_ranges=dict(ctx.input_ranges),

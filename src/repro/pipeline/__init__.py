@@ -32,6 +32,14 @@ from repro.pipeline.session import (
     job_stages,
     record_from_context,
 )
+from repro.pipeline.shard import (
+    MergeShards,
+    Shard,
+    ShardResult,
+    ShardSchedule,
+    ShardTask,
+    run_shard_task,
+)
 from repro.pipeline.stages import (
     CaseSplit,
     Emit,
@@ -53,6 +61,12 @@ __all__ = [
     "Extract",
     "Verify",
     "Emit",
+    "Shard",
+    "MergeShards",
+    "ShardSchedule",
+    "ShardTask",
+    "ShardResult",
+    "run_shard_task",
     "Session",
     "Job",
     "RunRecord",

@@ -51,6 +51,12 @@ class PipelineContext:
     timings: list[tuple[str, float]] = field(default_factory=list)
     #: Free-form stage outputs (e.g. ``Emit`` stores ``"verilog"``).
     artifacts: dict[str, Any] = field(default_factory=dict)
+    #: Cone decomposition chosen by a ``Shard`` stage
+    #: (a :class:`repro.analysis.sharding.ShardPlan`), if one ran.
+    shard_plan: Any = None
+    #: Per-shard outcomes (:class:`repro.pipeline.shard.ShardResult`), in
+    #: plan order; ``MergeShards`` folds these into the fields above.
+    shard_results: list[Any] = field(default_factory=list)
 
     # ------------------------------------------------------------- accessors
     @property

@@ -23,6 +23,7 @@ from typing import Iterable, Sequence
 from repro.designs.registry import DESIGNS, get_design
 from repro.pipeline.context import PipelineContext
 from repro.pipeline.pipeline import Pipeline
+from repro.pipeline.shard import MergeShards, Shard, ShardSchedule
 from repro.pipeline.stages import Extract, Ingest, Saturate, Stage, Verify
 from repro.rewrites.rulesets import casesplit_ruleset, compose_rules, ruleset
 
@@ -35,6 +36,15 @@ class Job:
     rulesets (see :data:`~repro.rewrites.rulesets.RULESETS`) run as its own
     ``Saturate`` stage with ``phase_iters`` iterations.  An empty ``phases``
     runs the single-phase default composition.
+
+    ``shards``/``auto_shard_nodes`` opt into intra-design cone sharding
+    (:mod:`repro.pipeline.shard`): ``shards=N`` clusters output cones down
+    to at most N shared-nothing shards (``0`` leaves sharding off unless
+    ``auto_shard_nodes`` is set, in which case a multi-output design whose
+    DAG reaches that size auto-splits per output).  ``shard_parallel`` fans
+    shards out over a nested process pool — two-level parallelism when the
+    session itself runs ``parallel=True``.  Sharding composes with the
+    single-phase schedule only (phased schedules raise).
     """
 
     name: str
@@ -48,6 +58,9 @@ class Job:
     verify: bool = False
     phases: tuple[tuple[str, ...], ...] = ()
     phase_iters: int = 4
+    shards: int = 0
+    auto_shard_nodes: int | None = None
+    shard_parallel: bool = False
 
 
 @dataclass
@@ -71,6 +84,10 @@ class RunRecord:
     verified: bool | None = None
     runtime_s: float = 0.0
     stage_timings: dict[str, float] = field(default_factory=dict)
+    #: Number of intra-design shards the run split into (0 = monolithic).
+    shards: int = 0
+    #: Per-shard wall seconds, keyed by shard name (empty when monolithic).
+    shard_walls: dict[str, float] = field(default_factory=dict)
     error: str | None = None
 
     # -------------------------------------------------------- serialization
@@ -94,7 +111,33 @@ def job_stages(job: Job, design) -> list[Stage]:
     """The stage list a job's schedule expands to (shared with the CLI)."""
     iter_limit = job.iter_limit if job.iter_limit is not None else design.iterations
     node_limit = job.node_limit if job.node_limit is not None else design.node_limit
-    stages: list[Stage] = [Ingest(source=design.verilog)]
+    sharding = job.shards > 0 or job.auto_shard_nodes is not None
+    if sharding and job.phases:
+        raise ValueError("sharding composes with the single-phase schedule only")
+    stages: list[Stage] = [
+        Ingest(source=design.verilog, seed_egraph=not sharding)
+    ]
+    if sharding:
+        schedule = ShardSchedule(
+            iter_limit=iter_limit,
+            node_limit=node_limit,
+            time_limit=job.time_limit,
+            split_threshold=job.split_threshold,
+            enable_assume=job.enable_assume,
+            enable_condition=job.enable_condition,
+        )
+        stages.append(
+            Shard(
+                schedule,
+                max_shards=job.shards if job.shards > 0 else None,
+                auto_threshold=job.auto_shard_nodes,
+                parallel=job.shard_parallel,
+            )
+        )
+        stages.append(MergeShards())
+        if job.verify:
+            stages.append(Verify())
+        return stages
     if job.phases:
         for index, phase in enumerate(job.phases):
             rules = []
@@ -145,15 +188,35 @@ def record_from_context(
             delay_gain = 1.0 - after.delay / before.delay
         if before.area:
             area_gain = 1.0 - after.area / before.area
+    if ctx.shard_results:
+        # Sharded run: sizes sum over the shards' final e-graphs, and the
+        # stop reason aggregates (a single value when the shards agree).
+        finals = [r.reports[-1] for r in ctx.shard_results if r.reports]
+        nodes = sum(r.nodes for r in finals)
+        classes = sum(r.classes for r in finals)
+        stop_reason = ",".join(
+            sorted({r.stop_reason.value for r in finals})
+        )
+    else:
+        nodes = report.nodes if report else 0
+        classes = report.classes if report else 0
+        stop_reason = report.stop_reason.value if report else ""
+    stage_timings = ctx.stage_timings()
+    for result in ctx.shard_results:
+        # Fold each shard's internal breakdown in under its shard name —
+        # sharded records keep the saturate/extract split monolithic ones
+        # have.
+        for label, seconds in result.stage_timings.items():
+            stage_timings[f"{result.name}/{label}"] = seconds
     return RunRecord(
         job=job_name,
         design=design_name,
         output=output,
         status="ok",
-        stop_reason=report.stop_reason.value if report else "",
+        stop_reason=stop_reason,
         iterations=sum(len(r.iterations) for r in ctx.reports),
-        nodes=report.nodes if report else 0,
-        classes=report.classes if report else 0,
+        nodes=nodes,
+        classes=classes,
         original_delay=before.delay if before else 0.0,
         original_area=before.area if before else 0.0,
         optimized_delay=after.delay if after else 0.0,
@@ -162,7 +225,9 @@ def record_from_context(
         area_improvement=area_gain,
         verified=verdict.equivalent if verdict is not None else None,
         runtime_s=ctx.total_seconds,
-        stage_timings=ctx.stage_timings(),
+        stage_timings=stage_timings,
+        shards=len(ctx.shard_results),
+        shard_walls=dict(ctx.artifacts.get("shard_walls", {})),
     )
 
 

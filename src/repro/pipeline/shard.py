@@ -1,0 +1,206 @@
+"""Intra-design sharding: fan output cones through per-shard pipelines.
+
+The :class:`Shard` stage slices the ingested design into shared-nothing
+cones (per output, or clustered by shared-subexpression weight — see
+:mod:`repro.analysis.sharding`), runs each cone through its *own*
+Ingest → Saturate → Extract pipeline — its own e-graph, its own analysis
+state, its own node budget — and :class:`MergeShards` folds the extracted
+expressions, costs and saturation reports back into the enclosing context,
+where ``Verify`` / ``Emit`` / :func:`~repro.pipeline.session.record_from_context`
+work exactly as in a monolithic run.
+
+Because shards are plain picklable value objects (:class:`ShardTask`), the
+fan-out optionally goes over a :class:`~concurrent.futures.ProcessPoolExecutor`
+— and since :class:`~repro.pipeline.session.Session` already fans *designs*
+out over processes, a batch of large designs parallelizes at two levels:
+designs across the pool, cones within each design.
+
+Why this scales: equality saturation is super-linear in e-graph size, and a
+node limit is a *shared* budget monolithically — one greedy cone starves
+every other output.  Shard-per-cone gives each output the full budget and
+never pays for cross-cone e-node collisions (ROVER's decomposition insight,
+applied to the paper's flow).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.analysis.sharding import ConeShard, ShardPlan, plan_shards, should_shard
+from repro.egraph.runner import RunnerReport
+from repro.ir.expr import Expr
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.stages import Extract, Ingest, Saturate
+from repro.rewrites import compose_rules
+from repro.synth.cost import DelayArea
+
+
+@dataclass(frozen=True)
+class ShardSchedule:
+    """Picklable per-shard saturation/extraction knobs.
+
+    Mirrors the single-phase knobs of :class:`~repro.pipeline.session.Job`:
+    a worker process rebuilds the actual ``Saturate``/``Extract`` stages from
+    this spec, so no rule object (which may close over unpicklable state)
+    ever crosses the process boundary.
+    """
+
+    iter_limit: int = 8
+    node_limit: int = 30_000
+    time_limit: float = 60.0
+    split_threshold: int | None = 1
+    enable_assume: bool = True
+    enable_condition: bool = True
+    strip_assumes: bool = False
+    check_invariants: bool = False
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit of shard work (shippable to a worker process)."""
+
+    shard: ConeShard
+    schedule: ShardSchedule
+
+
+@dataclass
+class ShardResult:
+    """Picklable outcome of one shard's pipeline run."""
+
+    name: str
+    outputs: tuple[str, ...]
+    extracted: dict[str, Expr]
+    original_costs: dict[str, DelayArea]
+    optimized_costs: dict[str, DelayArea]
+    reports: list[RunnerReport]
+    wall_s: float
+    stage_timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def stop_reasons(self) -> tuple[str, ...]:
+        return tuple(report.stop_reason.value for report in self.reports)
+
+
+def shard_pipeline_stages(schedule: ShardSchedule) -> list:
+    """The Saturate/Extract pair a schedule expands to inside a shard."""
+    rules = compose_rules(
+        schedule.split_threshold,
+        schedule.enable_assume,
+        schedule.enable_condition,
+    )
+    return [
+        Saturate(
+            rules,
+            iter_limit=schedule.iter_limit,
+            node_limit=schedule.node_limit,
+            time_limit=schedule.time_limit,
+            check_invariants=schedule.check_invariants,
+        ),
+        Extract(strip_assumes=schedule.strip_assumes),
+    ]
+
+
+def run_shard_task(task: ShardTask) -> ShardResult:
+    """Run one shard to a result.  Top-level so process pools can pickle it."""
+    from repro.pipeline.pipeline import Pipeline  # package-import cycle
+
+    started = time.perf_counter()
+    ctx = Pipeline(
+        [Ingest(roots=task.shard.roots), *shard_pipeline_stages(task.schedule)]
+    ).run(input_ranges=task.shard.input_ranges)
+    return ShardResult(
+        name=task.shard.name,
+        outputs=task.shard.outputs,
+        extracted=dict(ctx.extracted),
+        original_costs=dict(ctx.original_costs),
+        optimized_costs=dict(ctx.optimized_costs),
+        reports=list(ctx.reports),
+        wall_s=time.perf_counter() - started,
+        stage_timings=ctx.stage_timings(),
+    )
+
+
+class Shard:
+    """Slice the ingested design into cones and optimize each independently.
+
+    ``max_shards=None`` shards per output; ``max_shards=K`` clusters cones by
+    shared-subexpression weight down to at most ``K`` shards.  With
+    ``auto_threshold`` set, sharding only engages when the design is
+    multi-output *and* its DAG size reaches the threshold — smaller designs
+    run as a single shard (equivalent to the monolithic flow), so the stage
+    can sit unconditionally in a pipeline.  ``parallel=True`` fans shards out
+    over a process pool (shards are shared-nothing by construction).
+    """
+
+    name = "shard"
+
+    def __init__(
+        self,
+        schedule: ShardSchedule | None = None,
+        max_shards: int | None = None,
+        auto_threshold: int | None = None,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> None:
+        self.schedule = schedule if schedule is not None else ShardSchedule()
+        self.max_shards = max_shards
+        self.auto_threshold = auto_threshold
+        self.parallel = parallel
+        self.max_workers = max_workers
+
+    def plan(self, ctx: PipelineContext) -> ShardPlan:
+        """The shard plan this stage would execute on the context."""
+        if not ctx.roots:
+            raise RuntimeError("Shard needs an Ingest stage to run first")
+        if self.auto_threshold is not None and not should_shard(
+            ctx.roots, self.auto_threshold
+        ):
+            return plan_shards(ctx.roots, ctx.input_ranges, max_shards=1)
+        return plan_shards(ctx.roots, ctx.input_ranges, max_shards=self.max_shards)
+
+    def run(self, ctx: PipelineContext) -> None:
+        plan = self.plan(ctx)
+        ctx.shard_plan = plan
+        tasks = [ShardTask(shard, self.schedule) for shard in plan.shards]
+        if self.parallel and len(tasks) > 1:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                ctx.shard_results = list(pool.map(run_shard_task, tasks))
+        else:
+            ctx.shard_results = [run_shard_task(task) for task in tasks]
+
+
+class MergeShards:
+    """Fold per-shard results back into the enclosing context.
+
+    After the merge the context looks exactly like a monolithic
+    Saturate+Extract run over every output — downstream ``Verify``/``Emit``
+    stages and record condensation apply unchanged.  Per-shard wall times
+    land in ``ctx.artifacts["shard_walls"]`` (and from there in
+    ``RunRecord.shard_walls``); saturation reports append in shard order.
+    """
+
+    name = "merge-shards"
+
+    def run(self, ctx: PipelineContext) -> None:
+        if not ctx.shard_results:
+            raise RuntimeError("MergeShards needs a Shard stage to run first")
+        merged_outputs: set[str] = set()
+        for result in ctx.shard_results:
+            overlap = merged_outputs & set(result.outputs)
+            if overlap:
+                raise RuntimeError(
+                    f"shard {result.name!r} re-merges outputs {sorted(overlap)}"
+                )
+            merged_outputs.update(result.outputs)
+            ctx.extracted.update(result.extracted)
+            ctx.original_costs.update(result.original_costs)
+            ctx.optimized_costs.update(result.optimized_costs)
+            ctx.reports.extend(result.reports)
+        missing = set(ctx.roots) - merged_outputs
+        if missing:
+            raise RuntimeError(f"shard plan dropped outputs {sorted(missing)}")
+        ctx.artifacts["shard_walls"] = {
+            result.name: round(result.wall_s, 6) for result in ctx.shard_results
+        }

@@ -47,6 +47,11 @@ class Ingest:
     trees) or — when neither is given — whatever the context already
     carries.  Every output port shares one e-graph, so cross-output
     subexpressions dedup and co-optimize.
+
+    ``seed_egraph=False`` parses only: the context gets roots but no
+    e-graph.  Sharded flows use this — each shard re-ingests its cone into
+    its own e-graph, so building (and analyzing) the monolithic graph here
+    would be pure discarded work.
     """
 
     name = "ingest"
@@ -55,9 +60,11 @@ class Ingest:
         self,
         source: str | None = None,
         roots: dict[str, Expr] | None = None,
+        seed_egraph: bool = True,
     ) -> None:
         self.source = source
         self.roots = dict(roots) if roots is not None else None
+        self.seed_egraph = seed_egraph
 
     def run(self, ctx: PipelineContext) -> None:
         if self.roots is not None:
@@ -81,6 +88,12 @@ class Ingest:
         ctx.optimized_costs.clear()
         ctx.equivalence.clear()
         ctx.artifacts.clear()
+        ctx.shard_plan = None
+        ctx.shard_results.clear()
+        if not self.seed_egraph:
+            ctx.egraph = None
+            ctx.root_ids = {}
+            return
         ctx.egraph = EGraph([DatapathAnalysis(ctx.input_ranges)])
         ctx.root_ids = {
             name: ctx.egraph.add_expr(expr) for name, expr in ctx.roots.items()

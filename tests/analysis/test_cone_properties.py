@@ -1,0 +1,167 @@
+"""Property-based invariants of cone extraction / shard planning.
+
+Random multi-output designs (hypothesis) pin down the shard-planner
+contract the pipeline relies on:
+
+* an input variable's range context lands in *exactly* the shards whose
+  cones reach it;
+* the union of the shards reconstructs the design (every output once,
+  its root unchanged);
+* shards share no mutable state — the planner hands out fresh containers,
+  and per-shard pipeline runs get disjoint e-graphs/analysis state.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sharding import plan_shards, should_shard
+from repro.intervals import IntervalSet
+from repro.ir import cone_inputs, cone_size, shared_weight, lzc, mux, var
+from repro.ir.expr import Expr
+
+VARS = [var(f"v{i}", 6) for i in range(6)]
+
+
+@st.composite
+def expr_tree(draw, depth: int = 3) -> Expr:
+    """A random small expression over the shared variable pool."""
+    if depth == 0 or draw(st.booleans()):
+        return draw(st.sampled_from(VARS))
+    kind = draw(st.integers(0, 4))
+    a = draw(expr_tree(depth=depth - 1))
+    b = draw(expr_tree(depth=depth - 1))
+    if kind == 0:
+        return a + b
+    if kind == 1:
+        return a * b
+    if kind == 2:
+        return a - b
+    if kind == 3:
+        return mux(a, b, a + b)
+    return lzc(a + b, 7)
+
+
+@st.composite
+def design(draw):
+    """A random multi-output design: 2-5 named roots + range constraints."""
+    n_outputs = draw(st.integers(2, 5))
+    roots = {f"o{i}": draw(expr_tree()) for i in range(n_outputs)}
+    constrained = draw(st.lists(st.sampled_from(VARS), unique=True, max_size=4))
+    ranges = {
+        v.var_name: IntervalSet.of(draw(st.integers(0, 10)), 63)
+        for v in constrained
+    }
+    return roots, ranges
+
+
+@settings(max_examples=60, deadline=None)
+@given(design())
+def test_inputs_land_in_exactly_the_shards_that_need_them(data):
+    roots, ranges = data
+    plan = plan_shards(roots, ranges)
+    for shard in plan.shards:
+        reachable = set(cone_inputs(shard.roots.values()))
+        # Constraint context: exactly the constrained inputs the cone reads.
+        assert set(shard.input_ranges) == reachable & set(ranges)
+        for name, iset in shard.input_ranges.items():
+            assert iset == ranges[name]
+
+
+@settings(max_examples=60, deadline=None)
+@given(design(), st.integers(1, 4))
+def test_shard_union_reconstructs_the_design(data, max_shards):
+    roots, ranges = data
+    for plan in (
+        plan_shards(roots, ranges),
+        plan_shards(roots, ranges, max_shards=max_shards),
+    ):
+        rebuilt: dict = {}
+        for shard in plan.shards:
+            for output, expr in shard.roots.items():
+                assert output not in rebuilt, "output appears in two shards"
+                rebuilt[output] = expr
+        assert rebuilt == roots
+    assert len(plan.shards) <= max_shards
+
+
+@settings(max_examples=40, deadline=None)
+@given(design())
+def test_shards_share_no_mutable_state(data):
+    roots, ranges = data
+    plan = plan_shards(roots, ranges)
+    containers = [id(s.roots) for s in plan.shards]
+    containers += [id(s.input_ranges) for s in plan.shards]
+    assert len(set(containers)) == len(containers), "aliased shard containers"
+    # Planner must not alias (or mutate) the caller's dicts either.
+    for shard in plan.shards:
+        assert shard.roots is not roots
+        assert shard.input_ranges is not ranges
+    snapshot_roots, snapshot_ranges = dict(roots), dict(ranges)
+    plan_shards(roots, ranges, max_shards=1)
+    assert roots == snapshot_roots and ranges == snapshot_ranges
+
+
+@settings(max_examples=30, deadline=None)
+@given(design())
+def test_planning_is_deterministic(data):
+    roots, ranges = data
+    first = plan_shards(roots, ranges, max_shards=2)
+    second = plan_shards(roots, ranges, max_shards=2)
+    assert [s.name for s in first.shards] == [s.name for s in second.shards]
+    assert [s.roots for s in first.shards] == [s.roots for s in second.shards]
+
+
+@settings(max_examples=40, deadline=None)
+@given(design())
+def test_clustering_merges_the_heaviest_overlap_first(data):
+    """Clustering one step (k = n-1 shards) merges a pair with maximal
+    shared-subexpression weight."""
+    roots, ranges = data
+    if len(roots) < 3:
+        return
+    plan = plan_shards(roots, ranges, max_shards=len(roots) - 1)
+    merged = next(s for s in plan.shards if len(s.roots) == 2)
+    a, b = (roots[name] for name in merged.outputs)
+    achieved = shared_weight([a], [b])
+    best = max(
+        shared_weight([roots[x]], [roots[y]])
+        for x in roots
+        for y in roots
+        if x < y
+    )
+    assert achieved == best
+
+
+def test_should_shard_policy():
+    x, y = var("x", 8), var("y", 8)
+    wide = {"a": x + y, "b": x * y, "c": x - y}
+    assert should_shard(wide, 2)
+    assert not should_shard(wide, None)  # no threshold, no auto-split
+    assert not should_shard(wide, 10_000)  # too small
+    assert not should_shard({"a": x + y}, 1)  # single output
+    assert cone_size(wide.values()) >= 5
+
+
+def test_per_shard_pipeline_state_is_disjoint():
+    """Running two shards' pipelines yields disjoint e-graphs and analysis
+    state: mutating one shard's run leaves the other's results untouched."""
+    from repro.pipeline import Ingest, Pipeline, Saturate
+
+    x, y = var("x", 8), var("y", 8)
+    plan = plan_shards({"a": x + y, "b": x * y}, {"x": IntervalSet.of(1, 9)})
+    contexts = [
+        Pipeline([Ingest(roots=s.roots), Saturate(iter_limit=1)]).run(
+            input_ranges=s.input_ranges
+        )
+        for s in plan.shards
+    ]
+    first, second = contexts
+    assert first.egraph is not second.egraph
+    before = second.egraph.node_count
+    # Hammer the first shard's e-graph; the second must not move.
+    first.egraph.add_expr((x + y) * (x + y))
+    first.egraph.rebuild()
+    assert second.egraph.node_count == before
+    second.egraph.check_invariants()

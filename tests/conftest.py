@@ -14,6 +14,30 @@ def rng() -> random.Random:
     return random.Random(0xC0FFEE)
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _global_registries_stay_immutable():
+    """Parallel-safety guard (the tier-1 job runs under pytest-xdist).
+
+    Every xdist worker imports its own copy of the package, so tests only
+    stay order- and worker-independent if nothing mutates the module-level
+    registries.  A test that monkeys with ``DESIGNS`` or ``RULESETS`` in
+    place would pass serially and corrupt unrelated tests in parallel —
+    this fixture turns that into a loud session-teardown failure.
+    """
+    from repro.designs import DESIGNS
+    from repro.rewrites.rulesets import RULESETS
+
+    designs_before = {name: id(design) for name, design in DESIGNS.items()}
+    rulesets_before = {name: id(entry) for name, entry in RULESETS.items()}
+    yield
+    assert {n: id(d) for n, d in DESIGNS.items()} == designs_before, (
+        "a test mutated the designs registry in place (parallel-unsafe)"
+    )
+    assert {n: id(e) for n, e in RULESETS.items()} == rulesets_before, (
+        "a test mutated the rulesets registry in place (parallel-unsafe)"
+    )
+
+
 def random_iset(rng: random.Random, lo: int = -64, hi: int = 64) -> IntervalSet:
     """A random small interval set (possibly with several pieces)."""
     pieces = []

@@ -130,6 +130,33 @@ def test_persistent_op_index_matches_full_rescan(load):
     g.check_invariants()  # cross-checks index/hashcons/counters too
 
 
+@settings(max_examples=60, deadline=None)
+@given(workload())
+def test_parent_sets_resolve_after_rebuild(load):
+    """Dict-keyed parent sets: each entry's canonical parent node is owned by
+    the class its recorded id resolves to, and references the child class."""
+    n_leaves, steps = load
+    g = EGraph()
+    ids = [g.add_node(ops.VAR, (f"v{i}", 4)) for i in range(n_leaves)]
+    for kind, x, y in steps:
+        a, b = ids[x % len(ids)], ids[y % len(ids)]
+        if kind == 0:
+            ids.append(g.add_node(ops.NEG, (), (g.find(a),)))
+        elif kind == 1:
+            ids.append(g.add_node(ops.ADD, (), (g.find(a), g.find(b))))
+        else:
+            g.union(a, b)
+    g.rebuild()
+    for eclass in g.classes():
+        assert isinstance(eclass.parents, dict)
+        for penode, pid in eclass.parents.items():
+            canon = penode.canonical(g.find)
+            owner = g.lookup(canon)
+            assert owner is not None and owner == g.find(pid)
+            assert eclass.id in {g.find(c) for c in canon.children}
+    g.check_invariants()  # includes the same checks graph-wide
+
+
 def test_rebuild_is_idempotent():
     g = EGraph()
     a = g.add_node(ops.VAR, ("a", 4))

@@ -21,7 +21,7 @@ from repro.verify import check_equivalent
 def test_registry_complete():
     assert set(DESIGNS) == {
         "fp_sub", "float_to_unorm", "interpolation", "unorm_to_float",
-        "lzc_example",
+        "lzc_example", "stress_wide",
     }
     with pytest.raises(KeyError):
         get_design("nope")

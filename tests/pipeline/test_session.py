@@ -8,7 +8,12 @@ import repro.pipeline.session as session_mod
 from repro.designs import DESIGNS
 from repro.pipeline import Job, RunRecord, Session, execute_job
 
-FAST = dict(iter_limit=3, node_limit=6_000)
+#: Settings under which every registry design (including the wide
+#: ``stress_wide``) completes its iterations instead of tripping the node
+#: limit: a mid-apply node-limit stop lands at a hash-order-dependent cutoff,
+#: so only completed runs are bit-reproducible across *processes* (which the
+#: parallel-vs-serial comparison below relies on).
+FAST = dict(iter_limit=2, node_limit=8_000)
 
 #: Fields that are deterministic across runs of the same job (timings and
 #: whole-run wall time are not).
@@ -94,6 +99,68 @@ class TestSessionBatch:
         labels = set(record.stage_timings)
         assert "saturate:structural" in labels
         assert "saturate:assume+condition+narrowing" in labels
+
+
+class TestShardedJobs:
+    def test_sharded_job_records_shard_metadata(self):
+        job = Job(name="sh", design="stress_wide", auto_shard_nodes=1, **FAST)
+        record = execute_job(job)
+        assert record.status == "ok", record.error
+        assert record.shards == 8  # one shard per stress_wide output
+        assert set(record.shard_walls) == {f"out{k}" for k in range(8)}
+        assert all(wall > 0 for wall in record.shard_walls.values())
+
+    def test_monolithic_record_has_no_shard_metadata(self):
+        record = execute_job(Job(name="mono", design="lzc_example", **FAST))
+        assert record.shards == 0 and record.shard_walls == {}
+
+    def test_auto_threshold_leaves_small_designs_monolithic(self):
+        """Auto-split must not engage for single-output designs — the run
+        goes through the shard machinery as one whole-design shard."""
+        job = Job(name="auto", design="lzc_example", auto_shard_nodes=1, **FAST)
+        record = execute_job(job)
+        assert record.status == "ok", record.error
+        assert record.shards == 1
+
+    def test_clustered_job_bounds_shard_count(self):
+        job = Job(name="cl", design="stress_wide", shards=3, **FAST)
+        record = execute_job(job)
+        assert record.status == "ok", record.error
+        assert 1 <= record.shards <= 3
+
+    def test_sharded_matches_monolithic_on_completed_runs(self):
+        """Under limits where everything completes, sharding a wide design
+        changes nothing about the extracted costs."""
+        mono = execute_job(Job(name="m", design="stress_wide", **FAST))
+        sharded = execute_job(
+            Job(name="s", design="stress_wide", auto_shard_nodes=1, **FAST)
+        )
+        assert (sharded.optimized_delay, sharded.optimized_area) == (
+            mono.optimized_delay,
+            mono.optimized_area,
+        )
+
+    def test_sharding_rejects_phased_schedules(self):
+        job = Job(
+            name="bad", design="lzc_example", shards=2, phases=(("structural",),)
+        )
+        record = execute_job(job)
+        assert record.status == "error"
+        assert "single-phase" in record.error
+
+    def test_shard_json_roundtrip_exact(self):
+        record = execute_job(
+            Job(name="rt", design="stress_wide", auto_shard_nodes=1, **FAST)
+        )
+        clone = RunRecord.from_json(record.to_json())
+        assert clone == record
+        assert clone.shard_walls == record.shard_walls
+        assert clone.to_json() == record.to_json()
+
+    def test_from_dict_defaults_shard_fields_for_legacy_records(self):
+        """Pre-shard trajectory files keep loading (schema is additive)."""
+        record = RunRecord.from_dict({"job": "x", "design": "y"})
+        assert record.shards == 0 and record.shard_walls == {}
 
 
 class TestRunRecordSerialization:
