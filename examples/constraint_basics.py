@@ -14,13 +14,14 @@ from repro.ir import abs_, eq, gt, lzc, mux, var
 from repro.rewrites import all_rules
 from repro.synth import DelayAreaCost
 from repro.verify import check_equivalent
+from repro.pipeline.budget import Budget
 
 
 def optimize(expr, input_ranges=None, iters=8):
     graph = EGraph([DatapathAnalysis(dict(input_ranges or {}))])
     root = graph.add_expr(expr)
     graph.rebuild()
-    report = Runner(graph, all_rules(), iter_limit=iters, node_limit=6000).run()
+    report = Runner(graph, all_rules(), budget=Budget(iters=iters, nodes=6000)).run()
     best = Extractor(graph, DelayAreaCost()).expr_of(root)
     return best, report, graph, root
 

@@ -37,9 +37,9 @@ tool preset), ``designs`` (the paper's benchmarks).
 """
 
 from repro.opt import DatapathOptimizer, OptimizerConfig
-from repro.pipeline import Job, Pipeline, RunRecord, Session
+from repro.pipeline import Budget, Job, Pipeline, ResourceGovernor, RunRecord, Session
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "DatapathOptimizer",
@@ -48,5 +48,7 @@ __all__ = [
     "Job",
     "RunRecord",
     "Pipeline",
+    "Budget",
+    "ResourceGovernor",
     "__version__",
 ]

@@ -69,7 +69,24 @@ def _add_optimize_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--module-name", default="optimized", help="name of the emitted module"
     )
+    _add_budget_arguments(parser)
     _add_shard_arguments(parser)
+
+
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--budget-ms", type=float, default=None, metavar="MS",
+        help="wall-clock budget for the whole run in milliseconds; every "
+        "stage and shard draws from this one pool and races one deadline "
+        "(default: ungoverned — only the per-stage limits apply)",
+    )
+    parser.add_argument(
+        "--budget-policy", choices=("fair", "weighted", "adaptive"),
+        default="adaptive",
+        help="how a shared budget splits across shards/jobs: equal shares, "
+        "proportional to cone size, or adaptive (unspent budget from fast "
+        "shards flows to slow ones; default: adaptive)",
+    )
 
 
 def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
@@ -125,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--records", metavar="FILE", help="append JSON run records to this file"
     )
+    _add_budget_arguments(bench)
     _add_shard_arguments(bench)
 
     report = sub.add_parser("report", help="render a table from saved run records")
@@ -146,6 +164,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     with open(args.source) as handle:
         source = handle.read()
 
+    from repro.pipeline import Budget
+
     config = OptimizerConfig(
         iter_limit=args.iters,
         node_limit=args.nodes,
@@ -155,6 +175,10 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         shards=args.shards,
         auto_shard_nodes=args.auto_shard_nodes or None,
         shard_parallel=args.shard_parallel,
+        budget=(
+            Budget.of_ms(args.budget_ms) if args.budget_ms is not None else None
+        ),
+        budget_policy=args.budget_policy,
     )
     tool = DatapathOptimizer(dict(args.ranges), config)
     module = tool.optimize_verilog(source)
@@ -196,7 +220,7 @@ def _records_table(records) -> str:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.designs.registry import design_names
-    from repro.pipeline import Session
+    from repro.pipeline import Budget, Session
 
     names = (
         [n.strip() for n in args.designs.split(",") if n.strip()]
@@ -205,6 +229,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     session = Session.for_designs(
         names,
+        # --budget-ms is the whole batch's ceiling, split across jobs by
+        # --budget-policy; per-design limits still apply underneath.
+        budget=(
+            Budget.of_ms(args.budget_ms) if args.budget_ms is not None else None
+        ),
+        budget_policy=args.budget_policy,
         iter_limit=args.iters,
         node_limit=args.nodes,
         time_limit=args.time_limit,

@@ -13,13 +13,18 @@ spans, exactly like egg's ``BackoffScheduler``.
 
 from __future__ import annotations
 
+import math
 import time
+import warnings
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.egraph.egraph import EGraph
 from repro.egraph.rewrite import Rewrite
+
+if TYPE_CHECKING:  # import at runtime happens lazily (package-cycle-free)
+    from repro.pipeline.budget import Budget
 
 
 class StopReason(Enum):
@@ -27,6 +32,7 @@ class StopReason(Enum):
     ITERATION_LIMIT = "iteration limit"
     NODE_LIMIT = "node limit"
     TIME_LIMIT = "time limit"
+    MATCH_LIMIT = "match limit"
 
 
 @dataclass
@@ -43,6 +49,10 @@ class IterationStats:
     classes_before: int
     nodes_after: int = 0
     classes_after: int = 0
+    #: E-node count at the end of the apply phase, before the rebuild's
+    #: congruence merges deflate it — the capacity the iteration actually
+    #: consumed (what a shared budget pool is charged).
+    nodes_peak: int = 0
     applied: dict[str, int] = field(default_factory=dict)
     search_time: float = 0.0
     apply_time: float = 0.0
@@ -69,6 +79,7 @@ class IterationStats:
             "index": self.index,
             "nodes_before": self.nodes_before,
             "nodes_after": self.nodes_after,
+            "nodes_peak": self.nodes_peak,
             "classes_before": self.classes_before,
             "classes_after": self.classes_after,
             "applied": dict(self.applied),
@@ -85,6 +96,9 @@ class RunnerReport:
     stop_reason: StopReason
     iterations: list[IterationStats]
     total_time: float
+    #: The budget the run was governed by (legacy-kwarg runs carry their
+    #: shimmed equivalent).
+    budget: "Budget | None" = None
 
     @property
     def nodes(self) -> int:
@@ -93,6 +107,38 @@ class RunnerReport:
     @property
     def classes(self) -> int:
         return self.iterations[-1].classes if self.iterations else 0
+
+    @property
+    def nodes_grown(self) -> int:
+        """E-nodes the run consumed (what a shared pool is charged).
+
+        Measured to the final iteration's pre-rebuild *peak*: a run stopped
+        on ``NODE_LIMIT`` charges the capacity that tripped the limit even
+        when the closing rebuild merges the graph back below it — so a
+        governor's ledger always agrees with the stop reason.
+        """
+        if not self.iterations:
+            return 0
+        last = self.iterations[-1]
+        return max(
+            0,
+            max(last.nodes_peak, last.nodes_after)
+            - self.iterations[0].nodes_before,
+        )
+
+    @property
+    def matches_applied(self) -> int:
+        """Total successful rule applications across all iterations."""
+        return sum(sum(it.applied.values()) for it in self.iterations)
+
+    def spent(self) -> dict:
+        """The ledger row this run consumed (allocated-vs-spent reporting)."""
+        return {
+            "time_s": round(self.total_time, 6),
+            "nodes": self.nodes_grown,
+            "iters": len(self.iterations),
+            "matches": self.matches_applied,
+        }
 
     def summary(self) -> str:
         """One-line human summary."""
@@ -105,13 +151,19 @@ class RunnerReport:
 
     def as_dict(self) -> dict:
         """JSON-serializable report (drives ``RunRecord`` / perf logs)."""
-        return {
+        out = {
             "stop_reason": self.stop_reason.value,
             "total_time_s": round(self.total_time, 6),
             "nodes": self.nodes,
             "classes": self.classes,
             "iterations": [it.as_dict() for it in self.iterations],
         }
+        if self.budget is not None:
+            out["budget"] = {
+                "allocated": self.budget.as_dict(include_deadline=False),
+                "spent": self.spent(),
+            }
+        return out
 
 
 class BackoffScheduler:
@@ -138,47 +190,123 @@ class BackoffScheduler:
         self._banned_until[rule.name] = iteration + (self.ban_length << banned)
 
 
+#: Shimmed defaults for the deprecated ``iter_limit``/``node_limit``/
+#: ``time_limit`` kwargs (their historical values).
+_LEGACY_ITERS = 16
+_LEGACY_NODES = 50_000
+_LEGACY_TIME_S = 120.0
+
+
 class Runner:
-    """Drive a set of rewrites over an e-graph until a stop condition."""
+    """Drive a set of rewrites over an e-graph until a stop condition.
+
+    The stop condition is a :class:`~repro.pipeline.budget.Budget` — wall
+    clock (relative span and/or inherited absolute deadline), e-node cap,
+    iteration quota, match quota.  The legacy ``iter_limit`` / ``node_limit``
+    / ``time_limit`` kwargs still work as a deprecated shim that builds an
+    equivalent budget; new call sites should pass ``budget=``, which is how
+    a pipeline's :class:`~repro.pipeline.budget.ResourceGovernor` threads
+    one shared deadline through nested saturation stages instead of letting
+    each restart the clock.
+    """
 
     def __init__(
         self,
         egraph: EGraph,
         rules: Sequence[Rewrite],
-        iter_limit: int = 16,
-        node_limit: int = 50_000,
-        time_limit: float = 120.0,
+        iter_limit: int | None = None,
+        node_limit: int | None = None,
+        time_limit: float | None = None,
         scheduler: BackoffScheduler | None = None,
         check_invariants: bool = False,
+        *,
+        budget: "Budget | None" = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
+        from repro.pipeline.budget import Budget  # runtime: cycle-free
+
         self.egraph = egraph
         self.rules = list(rules)
-        self.iter_limit = iter_limit
-        self.node_limit = node_limit
-        self.time_limit = time_limit
+        legacy = {
+            key: value
+            for key, value in (
+                ("iter_limit", iter_limit),
+                ("node_limit", node_limit),
+                ("time_limit", time_limit),
+            )
+            if value is not None
+        }
+        if budget is not None:
+            if legacy:
+                raise ValueError(
+                    "pass either budget= or the legacy "
+                    f"{sorted(legacy)} kwargs, not both"
+                )
+        else:
+            if legacy:
+                warnings.warn(
+                    "Runner(iter_limit=..., node_limit=..., time_limit=...) "
+                    "is deprecated; pass budget=Budget(iters=..., nodes=..., "
+                    "time_s=...) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            budget = Budget(
+                iters=iter_limit if iter_limit is not None else _LEGACY_ITERS,
+                nodes=node_limit if node_limit is not None else _LEGACY_NODES,
+                time_s=time_limit if time_limit is not None else _LEGACY_TIME_S,
+            )
+        self.budget = budget
+        self.clock = clock if clock is not None else time.monotonic
         self.scheduler = scheduler if scheduler is not None else BackoffScheduler()
         #: Assert e-graph invariants after every rebuild (tests only — the
         #: check is a full sweep).
         self.check_invariants = check_invariants
         self._spent_once_rules: set[str] = set()
 
+    # Legacy views of the budget (read-only; the shim keeps old call sites
+    # and introspection working).
+    @property
+    def iter_limit(self) -> int | None:
+        return self.budget.iters
+
+    @property
+    def node_limit(self) -> int | None:
+        return self.budget.nodes
+
+    @property
+    def time_limit(self) -> float | None:
+        return self.budget.time_s
+
     def run(self) -> RunnerReport:
-        """Run to saturation or limits; the e-graph is mutated in place.
+        """Run to saturation or budget exhaustion; the e-graph is mutated
+        in place.
 
         The time budget is a *deadline* threaded through the search and
-        apply loops, so one slow phase cannot blow arbitrarily past
-        ``time_limit`` — the run stops mid-iteration (after a rebuild that
-        leaves the e-graph consistent) with ``StopReason.TIME_LIMIT``.
+        apply loops, so one slow phase cannot blow arbitrarily past it —
+        the run stops mid-iteration (after a rebuild that leaves the
+        e-graph consistent) with ``StopReason.TIME_LIMIT``.  When the
+        budget carries an absolute deadline (inherited from a governor or
+        parent shard), that instant wins over ``start + time_s``: nested
+        runs race one shared clock rather than each restarting it.
         """
-        start = time.perf_counter()
-        deadline = start + self.time_limit
+        clock = self.clock
+        start = clock()
+        deadline = self.budget.deadline_at(start)
+        node_limit = self.budget.nodes if self.budget.nodes is not None else math.inf
+        match_limit = (
+            self.budget.matches if self.budget.matches is not None else math.inf
+        )
+        iter_limit = self.budget.iters
+        matches_seen = 0
         iterations: list[IterationStats] = []
         stop: StopReason | None = None
 
         self.egraph.rebuild()
         if self.check_invariants:
             self.egraph.check_invariants()
-        for iteration in range(self.iter_limit):
+        iteration = 0
+        while iter_limit is None or iteration < iter_limit:
             stats = IterationStats(
                 index=iteration,
                 nodes_before=self.egraph.node_count,
@@ -188,10 +316,10 @@ class Runner:
             index = self.egraph.nodes_by_op()
 
             # --- search phase -------------------------------------------
-            t0 = time.perf_counter()
+            t0 = clock()
             matches: list[tuple[Rewrite, list[tuple[int, dict]]]] = []
             for rule in self.rules:
-                if time.perf_counter() > deadline:
+                if clock() > deadline:
                     stop = StopReason.TIME_LIMIT
                     break
                 if rule.once and rule.name in self._spent_once_rules:
@@ -202,20 +330,24 @@ class Runner:
                 self.scheduler.record(rule, len(found), iteration)
                 if found:
                     matches.append((rule, found))
-            stats.search_time = time.perf_counter() - t0
+                    matches_seen += len(found)
+                    if matches_seen > match_limit:
+                        stop = StopReason.MATCH_LIMIT
+                        break
+            stats.search_time = clock() - t0
 
             # --- apply phase --------------------------------------------
-            t0 = time.perf_counter()
+            t0 = clock()
             if stop is None:
                 for rule, found in matches:
                     applied = 0
                     for class_id, env in found:
                         if rule.apply(self.egraph, class_id, env):
                             applied += 1
-                        if self.egraph.node_count > self.node_limit:
+                        if self.egraph.node_count > node_limit:
                             stop = StopReason.NODE_LIMIT
                             break
-                        if time.perf_counter() > deadline:
+                        if clock() > deadline:
                             stop = StopReason.TIME_LIMIT
                             break
                     if applied:
@@ -224,12 +356,13 @@ class Runner:
                             self._spent_once_rules.add(rule.name)
                     if stop is not None:
                         break
-            stats.apply_time = time.perf_counter() - t0
+            stats.apply_time = clock() - t0
+            stats.nodes_peak = self.egraph.node_count
 
             # --- rebuild phase (always: leave the graph consistent) -----
-            t0 = time.perf_counter()
+            t0 = clock()
             self.egraph.rebuild()
-            stats.rebuild_time = time.perf_counter() - t0
+            stats.rebuild_time = clock() - t0
 
             stats.nodes_after = self.egraph.node_count
             stats.classes_after = self.egraph.class_count
@@ -242,15 +375,17 @@ class Runner:
             if self.egraph.version == version_before:
                 stop = StopReason.SATURATED
                 break
-            if self.egraph.node_count > self.node_limit:
+            if self.egraph.node_count > node_limit:
                 stop = StopReason.NODE_LIMIT
                 break
-            if time.perf_counter() > deadline:
+            if clock() > deadline:
                 stop = StopReason.TIME_LIMIT
                 break
+            iteration += 1
 
         return RunnerReport(
             stop_reason=stop if stop is not None else StopReason.ITERATION_LIMIT,
             iterations=iterations,
-            total_time=time.perf_counter() - start,
+            total_time=clock() - start,
+            budget=self.budget,
         )

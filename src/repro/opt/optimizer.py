@@ -21,6 +21,7 @@ from repro.egraph.rewrite import Rewrite
 from repro.intervals import IntervalSet
 from repro.ir.expr import Expr
 from repro.pipeline import (
+    Budget,
     CaseSplit,
     Extract,
     Ingest,
@@ -68,6 +69,14 @@ class OptimizerConfig:
     auto_shard_nodes: int | None = None
     #: fan shards out over a process pool.
     shard_parallel: bool = False
+    #: one accounted resource pool for the whole run (wall clock / nodes /
+    #: iterations / matches — see :mod:`repro.pipeline.budget`): every stage
+    #: and every shard draws from it and races a single deadline.  The
+    #: per-stage knobs above still apply as ceilings.  None = ungoverned.
+    budget: Budget | None = None
+    #: how a shared budget splits across shards: ``fair`` | ``weighted``
+    #: (by cone size) | ``adaptive`` (fast shards' slack flows to slow ones).
+    budget_policy: str = "adaptive"
     #: assert e-graph invariants after every runner iteration (tests only;
     #: the check sweeps the whole graph).
     check_invariants: bool = False
@@ -161,13 +170,6 @@ class DatapathOptimizer:
         config = self.config
         sharding = config.shards > 0 or config.auto_shard_nodes is not None
         if sharding:
-            if user_splits:
-                # A CaseSplit stage mutates the monolithic e-graph, which the
-                # per-shard pipelines never see — silently dropping the
-                # designer's splits would be worse than refusing.
-                raise ValueError(
-                    "user case splits compose with the monolithic flow only"
-                )
             if config.extraction_key is not default_key:
                 # Same rationale: shards extract with the default objective
                 # (the schedule that crosses process boundaries carries no
@@ -194,6 +196,12 @@ class DatapathOptimizer:
                         enable_assume=config.enable_assume,
                         enable_condition=config.enable_condition_rewriting,
                         check_invariants=config.check_invariants,
+                        budget_policy=config.budget_policy,
+                        # Designer case splits ride into the shards and are
+                        # cone-sliced there: each shard applies exactly the
+                        # splits its cone can see, instead of the old
+                        # behaviour of refusing to compose at all.
+                        splits=tuple(user_splits),
                     ),
                     max_shards=config.shards if config.shards > 0 else None,
                     auto_threshold=config.auto_shard_nodes,
@@ -237,14 +245,22 @@ class DatapathOptimizer:
     ) -> ModuleResult:
         """Optimize every output of a Verilog module (joint e-graph)."""
         pipeline = self.build_pipeline(source=source, user_splits=user_splits)
-        return self._package(pipeline.run(input_ranges=self.input_ranges))
+        return self._package(self._run(pipeline))
 
     def optimize_exprs(
         self, roots: Mapping[str, Expr], user_splits: Sequence[Expr] = ()
     ) -> ModuleResult:
         """Optimize several roots sharing one e-graph."""
         pipeline = self.build_pipeline(roots=roots, user_splits=user_splits)
-        return self._package(pipeline.run(input_ranges=self.input_ranges))
+        return self._package(self._run(pipeline))
+
+    def _run(self, pipeline: Pipeline) -> PipelineContext:
+        """Run a built pipeline under this config's resource governance."""
+        return pipeline.run(
+            input_ranges=self.input_ranges,
+            budget=self.config.budget,
+            budget_policy=self.config.budget_policy,
+        )
 
     # ------------------------------------------------------------- plumbing
     def _package(self, ctx: PipelineContext) -> ModuleResult:

@@ -22,6 +22,17 @@ JSON-round-trippable :class:`RunRecord`.
 over exactly these stages.
 """
 
+from repro.pipeline.budget import (
+    ALLOCATORS,
+    AdaptiveSplit,
+    Budget,
+    BudgetAllocator,
+    BudgetPool,
+    FairSplit,
+    ResourceGovernor,
+    WeightedSplit,
+    allocator_for,
+)
 from repro.pipeline.context import PipelineContext
 from repro.pipeline.pipeline import Pipeline, run_stages
 from repro.pipeline.session import (
@@ -51,6 +62,15 @@ from repro.pipeline.stages import (
 )
 
 __all__ = [
+    "Budget",
+    "BudgetAllocator",
+    "BudgetPool",
+    "FairSplit",
+    "WeightedSplit",
+    "AdaptiveSplit",
+    "ALLOCATORS",
+    "allocator_for",
+    "ResourceGovernor",
     "PipelineContext",
     "Pipeline",
     "run_stages",

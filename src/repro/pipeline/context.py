@@ -51,6 +51,10 @@ class PipelineContext:
     timings: list[tuple[str, float]] = field(default_factory=list)
     #: Free-form stage outputs (e.g. ``Emit`` stores ``"verilog"``).
     artifacts: dict[str, Any] = field(default_factory=dict)
+    #: The run's resource governor (one accounted budget pool all stages
+    #: draw from; see :mod:`repro.pipeline.budget`).  ``None`` = ungoverned:
+    #: every stage keeps its own knobs.
+    governor: Any = None
     #: Cone decomposition chosen by a ``Shard`` stage
     #: (a :class:`repro.analysis.sharding.ShardPlan`), if one ran.
     shard_plan: Any = None

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import time
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.intervals import IntervalSet
+from repro.pipeline.budget import Budget, ResourceGovernor
 from repro.pipeline.context import PipelineContext
 from repro.pipeline.stages import Ingest, Stage
 
@@ -32,8 +33,19 @@ class Pipeline:
         self,
         ctx: PipelineContext | None = None,
         input_ranges: dict[str, IntervalSet] | None = None,
+        budget: Budget | None = None,
+        budget_policy: str = "fair",
+        clock: Callable[[], float] | None = None,
     ) -> PipelineContext:
-        """Run every stage in order; returns the (mutated) context."""
+        """Run every stage in order; returns the (mutated) context.
+
+        ``budget`` puts the whole run under a
+        :class:`~repro.pipeline.budget.ResourceGovernor`: every stage draws
+        from that one accounted pool (sharing a single absolute deadline)
+        instead of carrying its own clock, and the governor's
+        allocated-vs-spent ledger lands in the run record.  ``clock`` is
+        injectable for deterministic deadline tests.
+        """
         if ctx is None:
             ctx = PipelineContext(input_ranges=dict(input_ranges or {}))
         elif input_ranges is not None:
@@ -52,6 +64,10 @@ class Pipeline:
                     "stage (or use a fresh context) instead"
                 )
             ctx.input_ranges = dict(input_ranges)
+        if budget is not None:
+            ctx.governor = ResourceGovernor(
+                budget, clock=clock, policy=budget_policy
+            )
         for stage in self.stages:
             started = time.perf_counter()
             stage.run(ctx)
@@ -62,6 +78,7 @@ class Pipeline:
 def run_stages(
     stages: Sequence[Stage],
     input_ranges: dict[str, IntervalSet] | None = None,
+    **kwargs,
 ) -> PipelineContext:
     """One-shot convenience: ``Pipeline(stages).run(...)``."""
-    return Pipeline(stages).run(input_ranges=input_ranges)
+    return Pipeline(stages).run(input_ranges=input_ranges, **kwargs)

@@ -16,11 +16,18 @@ appends records to ``BENCH_perf.json`` through it.
 from __future__ import annotations
 
 import json
+import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Iterable, Sequence
 
 from repro.designs.registry import DESIGNS, get_design
+from repro.pipeline.budget import (
+    Budget,
+    BudgetPool,
+    allocator_for,
+    concurrent_children,
+)
 from repro.pipeline.context import PipelineContext
 from repro.pipeline.pipeline import Pipeline
 from repro.pipeline.shard import MergeShards, Shard, ShardSchedule
@@ -45,6 +52,12 @@ class Job:
     shards out over a nested process pool — two-level parallelism when the
     session itself runs ``parallel=True``.  Sharding composes with the
     single-phase schedule only (phased schedules raise).
+
+    ``budget`` puts the whole job under one accounted
+    :class:`~repro.pipeline.budget.Budget` (every stage — and every shard,
+    split by ``budget_policy`` — draws from that pool and races one
+    deadline); the classic per-stage knobs still apply as ceilings.  A
+    session-level budget intersects in on top (see :class:`Session`).
     """
 
     name: str
@@ -61,6 +74,8 @@ class Job:
     shards: int = 0
     auto_shard_nodes: int | None = None
     shard_parallel: bool = False
+    budget: Budget | None = None
+    budget_policy: str = "adaptive"
 
 
 @dataclass
@@ -88,6 +103,13 @@ class RunRecord:
     shards: int = 0
     #: Per-shard wall seconds, keyed by shard name (empty when monolithic).
     shard_walls: dict[str, float] = field(default_factory=dict)
+    #: Which substrate ran the shards: "process", or "inline" when serial /
+    #: when a nested pool could not start (empty for monolithic runs) — so
+    #: perf records never pass off a silently-serialized run as parallel.
+    shard_pool: str = ""
+    #: Resource-governance ledger: the run's budget pool plus
+    #: allocated-vs-spent per stage and per shard (empty when ungoverned).
+    budget: dict = field(default_factory=dict)
     error: str | None = None
 
     # -------------------------------------------------------- serialization
@@ -125,6 +147,7 @@ def job_stages(job: Job, design) -> list[Stage]:
             split_threshold=job.split_threshold,
             enable_assume=job.enable_assume,
             enable_condition=job.enable_condition,
+            budget_policy=job.budget_policy,
         )
         stages.append(
             Shard(
@@ -208,6 +231,12 @@ def record_from_context(
         # have.
         for label, seconds in result.stage_timings.items():
             stage_timings[f"{result.name}/{label}"] = seconds
+    if ctx.governor is not None:
+        budget_block = ctx.governor.as_dict()
+    elif "shard_budgets" in ctx.artifacts:
+        budget_block = {"stages": dict(ctx.artifacts["shard_budgets"])}
+    else:
+        budget_block = {}
     return RunRecord(
         job=job_name,
         design=design_name,
@@ -228,6 +257,8 @@ def record_from_context(
         stage_timings=stage_timings,
         shards=len(ctx.shard_results),
         shard_walls=dict(ctx.artifacts.get("shard_walls", {})),
+        shard_pool=ctx.artifacts.get("shard_pool", ""),
+        budget=budget_block,
     )
 
 
@@ -237,7 +268,9 @@ def execute_job(job: Job) -> RunRecord:
     try:
         design = get_design(job.design)
         ctx = Pipeline(job_stages(job, design)).run(
-            input_ranges=design.input_ranges
+            input_ranges=design.input_ranges,
+            budget=job.budget,
+            budget_policy=job.budget_policy,
         )
         return record_from_context(job.name, job.design, design.output, ctx)
     except Exception as err:  # pragma: no cover - exercised via bad jobs
@@ -258,6 +291,14 @@ class Session:
     ``parallel=True`` fans jobs out over a process pool (opt-in: workers
     re-import the package, so tiny batches are faster serially); records
     always come back in job order.
+
+    ``budget`` is a *session-level* ceiling: one
+    :class:`~repro.pipeline.budget.Budget` split across the jobs by
+    ``budget_policy`` and intersected with any per-job budget.  Serial runs
+    draw live from the pool (the adaptive policy recycles fast jobs'
+    slack); process-pool runs race the session's absolute deadline —
+    ``time.monotonic`` is machine-wide, so the ceiling survives the fan-out
+    across worker processes.
     """
 
     def __init__(
@@ -265,10 +306,14 @@ class Session:
         jobs: Iterable[Job] = (),
         parallel: bool = False,
         max_workers: int | None = None,
+        budget: Budget | None = None,
+        budget_policy: str = "adaptive",
     ) -> None:
         self.jobs: list[Job] = list(jobs)
         self.parallel = parallel
         self.max_workers = max_workers
+        self.budget = budget
+        self.budget_policy = budget_policy
 
     # ------------------------------------------------------------- building
     def add(self, job: Job | None = None, /, **kwargs) -> Job:
@@ -285,10 +330,25 @@ class Session:
         names: Sequence[str] | None = None,
         parallel: bool = False,
         max_workers: int | None = None,
+        budget: Budget | None = None,
+        budget_policy: str = "adaptive",
         **overrides,
     ) -> "Session":
-        """A session with one job per registry design (or the named ones)."""
-        session = cls(parallel=parallel, max_workers=max_workers)
+        """A session with one job per registry design (or the named ones).
+
+        ``budget``/``budget_policy`` are the *session-level* ceiling;
+        per-job knobs (including ``Job.budget``) go through ``overrides``.
+        """
+        session = cls(
+            parallel=parallel,
+            max_workers=max_workers,
+            budget=budget,
+            budget_policy=budget_policy,
+        )
+        # One policy end-to-end unless a job-level override says otherwise:
+        # the session splits its ceiling across jobs with it, and each job's
+        # shard fan-out splits its slice the same way.
+        overrides.setdefault("budget_policy", budget_policy)
         for name in names if names is not None else sorted(DESIGNS):
             session.add(Job(name=name, design=name, **overrides))
         return session
@@ -302,7 +362,46 @@ class Session:
         """Execute every job; one record per job, in order."""
         use_parallel = self.parallel if parallel is None else parallel
         workers = max_workers if max_workers is not None else self.max_workers
+        if self.budget is None:
+            if use_parallel and len(self.jobs) > 1:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    return list(pool.map(execute_job, self.jobs))
+            return [execute_job(job) for job in self.jobs]
+        return self._run_budgeted(use_parallel, workers)
+
+    def _run_budgeted(
+        self, use_parallel: bool, workers: int | None
+    ) -> list[RunRecord]:
+        """Enforce the session ceiling: every job draws from one pool."""
+        allocator = allocator_for(self.budget_policy)
+        weights = [1.0] * len(self.jobs)
         if use_parallel and len(self.jobs) > 1:
+            children = concurrent_children(
+                self.budget, weights, allocator, time.monotonic()
+            )
+            jobs = [
+                replace(job, budget=self._ceiling(job, child))
+                for job, child in zip(self.jobs, children)
+            ]
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(execute_job, self.jobs))
-        return [execute_job(job) for job in self.jobs]
+                return list(pool.map(execute_job, jobs))
+        pool = BudgetPool(self.budget, weights, allocator)
+        records = []
+        for job in self.jobs:
+            record = execute_job(replace(job, budget=self._ceiling(job, pool.draw())))
+            records.append(record)
+            # Debit what the job's governor ledger says it consumed (its
+            # "nodes" are e-nodes grown — same unit as the pool's quota;
+            # RunRecord.nodes is the final absolute graph size, which would
+            # wrongly charge every job its seed nodes too).
+            spent = record.budget.get("spent", {}) if record.budget else {}
+            pool.settle(
+                nodes=spent.get("nodes", 0),
+                iters=spent.get("iters", record.iterations),
+                matches=spent.get("matches", 0),
+            )
+        return records
+
+    @staticmethod
+    def _ceiling(job: Job, child: Budget) -> Budget:
+        return child if job.budget is None else job.budget.intersect(child)

@@ -3,17 +3,31 @@
 The :class:`Shard` stage slices the ingested design into shared-nothing
 cones (per output, or clustered by shared-subexpression weight — see
 :mod:`repro.analysis.sharding`), runs each cone through its *own*
-Ingest → Saturate → Extract pipeline — its own e-graph, its own analysis
-state, its own node budget — and :class:`MergeShards` folds the extracted
-expressions, costs and saturation reports back into the enclosing context,
-where ``Verify`` / ``Emit`` / :func:`~repro.pipeline.session.record_from_context`
-work exactly as in a monolithic run.
+Ingest → [CaseSplit] → Saturate → Extract pipeline — its own e-graph, its
+own analysis state, its own budget — and :class:`MergeShards` folds the
+extracted expressions, costs and saturation reports back into the enclosing
+context, where ``Verify`` / ``Emit`` /
+:func:`~repro.pipeline.session.record_from_context` work exactly as in a
+monolithic run.
 
 Because shards are plain picklable value objects (:class:`ShardTask`), the
 fan-out optionally goes over a :class:`~concurrent.futures.ProcessPoolExecutor`
 — and since :class:`~repro.pipeline.session.Session` already fans *designs*
 out over processes, a batch of large designs parallelizes at two levels:
-designs across the pool, cones within each design.
+designs across the pool, cones within each design.  When the nested pool
+cannot start (daemonic worker processes cannot have children) the stage
+falls back to inline execution and says so: the run records carry
+``pool: "inline" | "process"`` so perf numbers are never silently
+serialized.
+
+Budget-aware orchestration (see :mod:`repro.pipeline.budget`): a schedule
+may carry a shared :class:`Budget` — or the enclosing pipeline a
+:class:`ResourceGovernor` — and the stage splits it across shards by a
+named policy (``fair`` / ``weighted`` by cone size / ``adaptive``, where a
+fast shard's unspent wall time flows to the slow ones).  Every child
+inherits the parent's *absolute* deadline, which is the fix for the classic
+sharded-deadline bug: a slow shard no longer restarts the whole
+``time_limit``, so an N-shard run cannot overshoot its deadline N-fold.
 
 Why this scales: equality saturation is super-linear in e-graph size, and a
 node limit is a *shared* budget monolithically — one greedy cone starves
@@ -24,15 +38,25 @@ applied to the paper's flow).
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.analysis.sharding import ConeShard, ShardPlan, plan_shards, should_shard
 from repro.egraph.runner import RunnerReport
+from repro.ir.cones import cone_inputs
 from repro.ir.expr import Expr
+from repro.pipeline.budget import (
+    Budget,
+    BudgetPool,
+    ResourceGovernor,
+    allocator_for,
+    concurrent_children,
+    spend_dict,
+)
 from repro.pipeline.context import PipelineContext
-from repro.pipeline.stages import Extract, Ingest, Saturate
+from repro.pipeline.stages import CaseSplit, Extract, Ingest, Saturate
 from repro.rewrites import compose_rules
 from repro.synth.cost import DelayArea
 
@@ -45,6 +69,13 @@ class ShardSchedule:
     a worker process rebuilds the actual ``Saturate``/``Extract`` stages from
     this spec, so no rule object (which may close over unpicklable state)
     ever crosses the process boundary.
+
+    ``budget`` puts the whole *fan-out* (not each shard) under one shared
+    quota, split across shards by ``budget_policy``; per-shard allocations
+    intersect with the classic per-shard knobs.  ``splits`` carries
+    designer case-split conditions — each shard applies exactly those whose
+    support its cone can see (monolithic ``CaseSplit`` composes with the
+    sharded flow instead of being dropped).
     """
 
     iter_limit: int = 8
@@ -55,14 +86,24 @@ class ShardSchedule:
     enable_condition: bool = True
     strip_assumes: bool = False
     check_invariants: bool = False
+    budget: Budget | None = None
+    budget_policy: str = "adaptive"
+    splits: tuple[Expr, ...] = ()
 
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One unit of shard work (shippable to a worker process)."""
+    """One unit of shard work (shippable to a worker process).
+
+    ``budget`` is this shard's allocation out of the fan-out's shared pool
+    (None = ungoverned).  Its absolute deadline stays meaningful across the
+    process boundary: ``time.monotonic`` is CLOCK_MONOTONIC, shared by all
+    processes on the machine.
+    """
 
     shard: ConeShard
     schedule: ShardSchedule
+    budget: Budget | None = None
 
 
 @dataclass
@@ -77,29 +118,60 @@ class ShardResult:
     reports: list[RunnerReport]
     wall_s: float
     stage_timings: dict[str, float] = field(default_factory=dict)
+    #: Allocated-vs-spent ledger row: ``{"allocated": {...}?, "spent": {...}}``.
+    budget: dict = field(default_factory=dict)
 
     @property
     def stop_reasons(self) -> tuple[str, ...]:
         return tuple(report.stop_reason.value for report in self.reports)
 
 
-def shard_pipeline_stages(schedule: ShardSchedule) -> list:
-    """The Saturate/Extract pair a schedule expands to inside a shard."""
+def sliced_splits(
+    splits: tuple[Expr, ...], shard: ConeShard
+) -> tuple[Expr, ...]:
+    """The designer case splits whose support this shard's cone can see.
+
+    A condition over inputs the cone never reads cannot specialize anything
+    inside the shard (its ASSUME branches refine variables no cone operator
+    consumes), so it is sliced away rather than dragging foreign inputs
+    into the shard's e-graph.
+    """
+    if not splits:
+        return ()
+    visible = set(cone_inputs(shard.roots.values()))
+    return tuple(
+        split for split in splits if set(cone_inputs([split])) <= visible
+    )
+
+
+def shard_pipeline_stages(
+    schedule: ShardSchedule,
+    budget: Budget | None = None,
+    splits: tuple[Expr, ...] = (),
+) -> list:
+    """The stage list a schedule expands to inside a shard."""
     rules = compose_rules(
         schedule.split_threshold,
         schedule.enable_assume,
         schedule.enable_condition,
     )
-    return [
+    base = Budget(
+        iters=schedule.iter_limit,
+        nodes=schedule.node_limit,
+        time_s=schedule.time_limit,
+    )
+    stages: list = []
+    if splits:
+        stages.append(CaseSplit(splits))
+    stages += [
         Saturate(
             rules,
-            iter_limit=schedule.iter_limit,
-            node_limit=schedule.node_limit,
-            time_limit=schedule.time_limit,
+            budget=base if budget is None else base.intersect(budget),
             check_invariants=schedule.check_invariants,
         ),
         Extract(strip_assumes=schedule.strip_assumes),
     ]
+    return stages
 
 
 def run_shard_task(task: ShardTask) -> ShardResult:
@@ -107,9 +179,24 @@ def run_shard_task(task: ShardTask) -> ShardResult:
     from repro.pipeline.pipeline import Pipeline  # package-import cycle
 
     started = time.perf_counter()
+    splits = sliced_splits(task.schedule.splits, task.shard)
     ctx = Pipeline(
-        [Ingest(roots=task.shard.roots), *shard_pipeline_stages(task.schedule)]
+        [
+            Ingest(roots=task.shard.roots),
+            *shard_pipeline_stages(task.schedule, task.budget, splits),
+        ]
     ).run(input_ranges=task.shard.input_ranges)
+    wall = time.perf_counter() - started
+    ledger = {
+        "spent": spend_dict(
+            time_s=wall,
+            nodes=sum(report.nodes for report in ctx.reports),
+            iters=sum(len(report.iterations) for report in ctx.reports),
+            matches=sum(report.matches_applied for report in ctx.reports),
+        )
+    }
+    if task.budget is not None:
+        ledger["allocated"] = task.budget.as_dict(include_deadline=False)
     return ShardResult(
         name=task.shard.name,
         outputs=task.shard.outputs,
@@ -117,9 +204,21 @@ def run_shard_task(task: ShardTask) -> ShardResult:
         original_costs=dict(ctx.original_costs),
         optimized_costs=dict(ctx.optimized_costs),
         reports=list(ctx.reports),
-        wall_s=time.perf_counter() - started,
+        wall_s=wall,
         stage_timings=ctx.stage_timings(),
+        budget=ledger,
     )
+
+
+def _nested_pool_available() -> bool:
+    """Whether a nested process pool can start here.
+
+    Daemonic workers (e.g. ``multiprocessing.Pool`` children) cannot have
+    children of their own; trying raises deep inside the executor, so the
+    shard fan-out would die — or worse, silently serialize without saying
+    so.  The check is explicit and the chosen substrate is recorded.
+    """
+    return not multiprocessing.current_process().daemon
 
 
 class Shard:
@@ -131,7 +230,16 @@ class Shard:
     multi-output *and* its DAG size reaches the threshold — smaller designs
     run as a single shard (equivalent to the monolithic flow), so the stage
     can sit unconditionally in a pipeline.  ``parallel=True`` fans shards out
-    over a process pool (shards are shared-nothing by construction).
+    over a process pool (shards are shared-nothing by construction), falling
+    back to inline execution — recorded, not silent — when a nested pool
+    cannot start.
+
+    When the schedule carries a budget (or the context a governor), shards
+    draw per-shard allocations from the shared pool: serially through a
+    live :class:`~repro.pipeline.budget.BudgetPool` (the adaptive policy
+    recycles fast shards' slack), concurrently as quota shares under the
+    parent's absolute deadline (wall time is not additive across concurrent
+    shards — the deadline is the binding constraint).
     """
 
     name = "shard"
@@ -160,15 +268,117 @@ class Shard:
             return plan_shards(ctx.roots, ctx.input_ranges, max_shards=1)
         return plan_shards(ctx.roots, ctx.input_ranges, max_shards=self.max_shards)
 
+    def _parent_budget(self, ctx: PipelineContext) -> Budget | None:
+        """The shared pool this fan-out draws from, if any.
+
+        A schedule budget with no governor installs one on the context, so
+        allocation/spend always lands in one uniform ledger.
+        """
+        schedule_budget = self.schedule.budget
+        if ctx.governor is None and schedule_budget is not None:
+            ctx.governor = ResourceGovernor(
+                schedule_budget, policy=self.schedule.budget_policy
+            )
+            return ctx.governor.remaining()
+        if ctx.governor is not None:
+            remaining = ctx.governor.remaining()
+            if schedule_budget is not None:
+                remaining = remaining.intersect(schedule_budget)
+            return remaining
+        return None
+
     def run(self, ctx: PipelineContext) -> None:
         plan = self.plan(ctx)
         ctx.shard_plan = plan
-        tasks = [ShardTask(shard, self.schedule) for shard in plan.shards]
-        if self.parallel and len(tasks) > 1:
+        schedule = self.schedule
+        if schedule.splits:
+            # Per-shard slicing must *cover* the designer's splits: a
+            # condition whose inputs span several cones lands in no shard,
+            # and silently dropping it would be worse than refusing (fewer
+            # shards keep the spanning inputs in one cone).
+            covered: set[Expr] = set()
+            for shard in plan.shards:
+                covered.update(sliced_splits(schedule.splits, shard))
+            dropped = [s for s in schedule.splits if s not in covered]
+            if dropped:
+                raise ValueError(
+                    f"case splits {dropped} read inputs spanning multiple "
+                    "shards, so no shard's cone can see them — cluster to "
+                    "fewer shards or run these splits monolithically"
+                )
+        parent = self._parent_budget(ctx)
+        governor = ctx.governor
+        clock = governor.clock if governor is not None else time.monotonic
+        allocator = allocator_for(schedule.budget_policy)
+        weights = [float(max(shard.size, 1)) for shard in plan.shards]
+        tasks = [ShardTask(shard, schedule) for shard in plan.shards]
+
+        results: list[ShardResult] | None = None
+        pool_kind = "inline"
+        if self.parallel and len(tasks) > 1 and _nested_pool_available():
+            results = self._run_process_pool(tasks, parent, allocator, weights, clock)
+            if results is not None:
+                pool_kind = "process"
+        if results is None:
+            results = self._run_inline(tasks, parent, allocator, weights, clock)
+        ctx.shard_results = results
+        ctx.artifacts["shard_pool"] = pool_kind
+        if governor is not None:
+            for result in results:
+                spent = result.budget.get("spent", {})
+                governor.charge(
+                    f"shard:{result.name}",
+                    time_s=spent.get("time_s", result.wall_s),
+                    nodes=spent.get("nodes", 0),
+                    iters=spent.get("iters", 0),
+                    matches=spent.get("matches", 0),
+                    allocated=result.budget.get("allocated"),
+                )
+
+    # ------------------------------------------------------------- substrates
+    def _run_process_pool(
+        self, tasks, parent, allocator, weights, clock
+    ) -> list[ShardResult] | None:
+        """Concurrent fan-out; ``None`` means "fall back to inline".
+
+        Concurrent shards race the parent's absolute deadline rather than
+        receiving wall-time slices (wall time is not additive across
+        concurrency); countable quotas split by the policy's shares.
+        """
+        budgeted = tasks
+        if parent is not None:
+            children = concurrent_children(parent, weights, allocator, clock())
+            budgeted = [
+                replace(task, budget=child)
+                for task, child in zip(tasks, children)
+            ]
+        try:
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                ctx.shard_results = list(pool.map(run_shard_task, tasks))
-        else:
-            ctx.shard_results = [run_shard_task(task) for task in tasks]
+                return list(pool.map(run_shard_task, budgeted))
+        except OSError:
+            # Pool never came up (fd/process limits, sandboxing): the
+            # shards are pure functions, rerunning inline is safe.
+            return None
+
+    def _run_inline(
+        self, tasks, parent, allocator, weights, clock
+    ) -> list[ShardResult]:
+        """Serial fan-out with live draw/settle budget accounting."""
+        if parent is None:
+            return [run_shard_task(task) for task in tasks]
+        pool = BudgetPool(parent, weights, allocator, clock=clock)
+        results = []
+        for task in tasks:
+            child = pool.draw()
+            result = run_shard_task(replace(task, budget=child))
+            spent = result.budget.get("spent", {})
+            pool.settle(
+                nodes=spent.get("nodes", 0),
+                iters=spent.get("iters", 0),
+                matches=spent.get("matches", 0),
+            )
+            results.append(result)
+        return results
 
 
 class MergeShards:
@@ -178,7 +388,9 @@ class MergeShards:
     Saturate+Extract run over every output — downstream ``Verify``/``Emit``
     stages and record condensation apply unchanged.  Per-shard wall times
     land in ``ctx.artifacts["shard_walls"]`` (and from there in
-    ``RunRecord.shard_walls``); saturation reports append in shard order.
+    ``RunRecord.shard_walls``), per-shard allocated-vs-spent ledgers in
+    ``ctx.artifacts["shard_budgets"]``; saturation reports append in shard
+    order.
     """
 
     name = "merge-shards"
@@ -204,3 +416,10 @@ class MergeShards:
         ctx.artifacts["shard_walls"] = {
             result.name: round(result.wall_s, 6) for result in ctx.shard_results
         }
+        ledgers = {
+            result.name: result.budget
+            for result in ctx.shard_results
+            if result.budget
+        }
+        if ledgers:
+            ctx.artifacts["shard_budgets"] = ledgers

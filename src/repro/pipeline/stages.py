@@ -13,6 +13,7 @@ objectives over one saturated e-graph, ``Verify``/``Emit`` are optional.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Protocol, Sequence, runtime_checkable
 
 from repro.analysis import DatapathAnalysis
@@ -25,6 +26,7 @@ from repro.rtl import emit_verilog, module_to_ir
 from repro.synth.cost import DelayAreaCost, default_key
 from repro.verify import check_equivalent
 
+from repro.pipeline.budget import Budget
 from repro.pipeline.context import PipelineContext
 
 
@@ -124,6 +126,15 @@ class Saturate:
     schedules (e.g. structural identities first, then constraint
     exploitation, then narrowing); each instance appends its own
     :class:`~repro.egraph.runner.RunnerReport` to the context.
+
+    Limits are a :class:`~repro.pipeline.budget.Budget` — pass ``budget=``
+    directly, or keep the classic ``iter_limit``/``node_limit``/
+    ``time_limit`` knobs and the stage builds one.  When the context
+    carries a :class:`~repro.pipeline.budget.ResourceGovernor`, the stage
+    additionally intersects its budget with the governor's remaining pool
+    (inheriting the governor's *absolute* deadline — phased schedules race
+    one clock, they don't each restart it) and charges its spend into the
+    governor's ledger.
     """
 
     name = "saturate"
@@ -136,25 +147,77 @@ class Saturate:
         time_limit: float = 60.0,
         check_invariants: bool = False,
         label: str | None = None,
+        budget: Budget | None = None,
     ) -> None:
         self.rules = list(rules) if rules is not None else compose_rules()
         self.iter_limit = iter_limit
         self.node_limit = node_limit
         self.time_limit = time_limit
         self.check_invariants = check_invariants
+        self.budget = budget
         if label is not None:
             self.name = label
 
-    def run(self, ctx: PipelineContext) -> None:
-        runner = Runner(
-            ctx.require_egraph(),
-            self.rules,
-            iter_limit=self.iter_limit,
-            node_limit=self.node_limit,
-            time_limit=self.time_limit,
-            check_invariants=self.check_invariants,
+    def effective_budget(self, ctx: PipelineContext) -> Budget:
+        """The budget this stage would saturate under on ``ctx``."""
+        budget = (
+            self.budget
+            if self.budget is not None
+            else Budget(
+                iters=self.iter_limit,
+                nodes=self.node_limit,
+                time_s=self.time_limit,
+            )
         )
-        ctx.reports.append(runner.run())
+        governor = ctx.governor
+        if governor is None:
+            return budget
+        remaining = governor.remaining()
+        if remaining.nodes is not None:
+            # The governor pools e-nodes *grown*; the runner's cap is an
+            # absolute graph size — translate relative quota to this graph.
+            remaining = replace(
+                remaining, nodes=ctx.require_egraph().node_count + remaining.nodes
+            )
+        return budget.intersect(remaining)
+
+    def run(self, ctx: PipelineContext) -> None:
+        budget = self.effective_budget(ctx)
+        governor = ctx.governor
+        egraph = ctx.require_egraph()
+        seed_nodes = egraph.node_count
+        runner = Runner(
+            egraph,
+            self.rules,
+            budget=budget,
+            check_invariants=self.check_invariants,
+            clock=governor.clock if governor is not None else None,
+        )
+        report = runner.run()
+        ctx.reports.append(report)
+        if governor is not None:
+            allocated = budget
+            if allocated.nodes is not None:
+                # The runner's cap is an absolute graph size; the ledger
+                # reports growth allowance — the same unit as its spend.
+                allocated = replace(
+                    allocated, nodes=max(0, allocated.nodes - seed_nodes)
+                )
+            if allocated.deadline is not None:
+                # Ledger rows report concrete spans, not raw monotonic
+                # instants: the allocation was "whatever window was left",
+                # capped by the stage's own time knob.
+                window = max(
+                    0.0,
+                    allocated.deadline - (governor.clock() - report.total_time),
+                )
+                span = (
+                    window
+                    if allocated.time_s is None
+                    else min(allocated.time_s, window)
+                )
+                allocated = replace(allocated, time_s=round(span, 6))
+            governor.charge_report(self.name, report, allocated=allocated)
 
 
 class Extract:

@@ -6,7 +6,7 @@ import pytest
 
 import repro.pipeline.session as session_mod
 from repro.designs import DESIGNS
-from repro.pipeline import Job, RunRecord, Session, execute_job
+from repro.pipeline import Budget, Job, RunRecord, Session, execute_job
 
 #: Settings under which every registry design (including the wide
 #: ``stress_wide``) completes its iterations instead of tripping the node
@@ -161,6 +161,29 @@ class TestShardedJobs:
         """Pre-shard trajectory files keep loading (schema is additive)."""
         record = RunRecord.from_dict({"job": "x", "design": "y"})
         assert record.shards == 0 and record.shard_walls == {}
+        assert record.shard_pool == "" and record.budget == {}
+
+    def test_budget_ledger_fields_roundtrip_exact(self):
+        """The resource-governance additions to the record schema (the
+        ``budget`` ledger block and ``shard_pool``) survive JSON exactly."""
+        record = execute_job(
+            Job(
+                name="rt-budget",
+                design="stress_wide",
+                auto_shard_nodes=1,
+                budget=Budget(time_s=5.0),
+                **FAST,
+            )
+        )
+        assert record.status == "ok", record.error
+        assert record.shard_pool == "inline"
+        assert record.budget["allocated"] == {"time_s": 5.0}
+        assert record.budget["stages"]
+        clone = RunRecord.from_json(record.to_json())
+        assert clone == record
+        assert clone.budget == record.budget
+        assert clone.shard_pool == record.shard_pool
+        assert clone.to_json() == record.to_json()
 
 
 class TestRunRecordSerialization:
@@ -190,6 +213,80 @@ class TestRunRecordSerialization:
         job = session.add(Job(name="explicit", design="fp_sub"))
         assert [j.name for j in session.jobs] == ["lzc_example", "explicit"]
         assert job.design == "fp_sub"
+
+
+class TestSessionBudgetCeiling:
+    """A session-level budget is a job-level ceiling across the batch."""
+
+    def test_serial_session_budget_governs_every_job(self):
+        session = Session.for_designs(
+            ["lzc_example", "float_to_unorm"],
+            budget=Budget(time_s=30.0),
+            **FAST,
+        )
+        records = session.run()
+        assert all(r.status == "ok" for r in records)
+        for record in records:
+            assert record.budget, "every job must carry a governed ledger"
+            assert record.budget["allocated"]["time_s"] <= 30.0
+            assert "saturate" in record.budget["stages"]
+
+    def test_serial_adaptive_ceiling_recycles_between_jobs(self):
+        """The second job's window reflects what the first actually left."""
+        session = Session.for_designs(
+            ["lzc_example", "float_to_unorm"],
+            budget=Budget(time_s=30.0),
+            budget_policy="adaptive",
+            **FAST,
+        )
+        first, second = session.run()
+        # Job 1 was offered 15s (fair half) and spent milliseconds; job 2's
+        # allocation must therefore exceed the up-front half split.
+        assert first.budget["allocated"]["time_s"] <= 15.0 + 1e-6
+        assert second.budget["allocated"]["time_s"] > 15.0
+
+    def test_parallel_session_budget_shares_one_deadline(self, monkeypatch):
+        calls = []
+        real_executor = session_mod.ProcessPoolExecutor
+
+        class CountingExecutor(real_executor):
+            def __init__(self, *args, **kwargs):
+                calls.append(kwargs.get("max_workers"))
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(session_mod, "ProcessPoolExecutor", CountingExecutor)
+        session = Session.for_designs(
+            ["lzc_example", "float_to_unorm"],
+            budget=Budget(time_s=30.0),
+            **FAST,
+        )
+        records = session.run(parallel=True, max_workers=2)
+        assert calls == [2]
+        assert all(r.status == "ok" for r in records)
+        assert all(r.budget for r in records)
+
+    def test_job_budget_intersects_with_session_ceiling(self):
+        session = Session(
+            [
+                Job(
+                    name="tight",
+                    design="lzc_example",
+                    budget=Budget(iters=1),
+                    **FAST,
+                )
+            ],
+            budget=Budget(time_s=30.0),
+        )
+        (record,) = session.run()
+        assert record.status == "ok", record.error
+        # The job's own iteration quota survived the session split.
+        assert record.iterations == 1
+
+    def test_jobs_with_budgets_stay_picklable(self):
+        import pickle
+
+        job = Job(name="p", design="lzc_example", budget=Budget(time_s=1.0))
+        assert pickle.loads(pickle.dumps(job)) == job
 
 
 @pytest.mark.slow

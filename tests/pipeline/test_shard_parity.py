@@ -20,6 +20,7 @@ import pytest
 
 from repro.designs import DESIGNS, get_design
 from repro.pipeline import (
+    Budget,
     Extract,
     Ingest,
     MergeShards,
@@ -55,8 +56,10 @@ def _monolithic(design, iters=ITERS, node_limit=NODE_LIMIT):
     ).run(input_ranges=design.input_ranges)
 
 
-def _sharded(design, iters=ITERS, node_limit=NODE_LIMIT):
-    schedule = ShardSchedule(iter_limit=iters, node_limit=node_limit)
+def _sharded(design, iters=ITERS, node_limit=NODE_LIMIT, budget=None):
+    schedule = ShardSchedule(
+        iter_limit=iters, node_limit=node_limit, budget=budget
+    )
     return Pipeline(
         [Ingest(source=design.verilog), Shard(schedule), MergeShards()]
     ).run(input_ranges=design.input_ranges)
@@ -133,3 +136,26 @@ class TestStressDesignNeedsSharding:
         walls = sharded.artifacts["shard_walls"]
         assert set(walls) == {r.name for r in sharded.shard_results}
         assert all(wall > 0 for wall in walls.values())
+
+
+@pytest.mark.parametrize("name", sorted(DESIGNS))
+class TestBudgetedShardParity:
+    """Sharded+budgeted runs pass the same differential contract: under a
+    generous shared budget (which never binds at these limits) the governed
+    flow extracts exactly what the ungoverned one does, and the budget's
+    only effect is the ledger it leaves behind."""
+
+    def test_generous_budget_changes_nothing_but_the_ledger(self, name):
+        design = get_design(name)
+        plain = _sharded(design)
+        governed = _sharded(design, budget=Budget(time_s=120.0))
+        assert governed.extracted == plain.extracted
+        for output in plain.roots:
+            assert (
+                governed.optimized_costs[output].key
+                == plain.optimized_costs[output].key
+            )
+        assert governed.governor is not None
+        assert set(governed.governor.ledger) == {
+            f"shard:{r.name}" for r in governed.shard_results
+        }

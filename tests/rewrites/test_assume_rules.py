@@ -6,6 +6,7 @@ from repro.egraph.enode import ENode
 from repro.intervals import IntervalSet
 from repro.ir import ops, var
 from repro.ir.expr import assume, const, eq, gt, lnot, lt, mux
+from repro.pipeline.budget import Budget
 from repro.rewrites.assume import (
     assume_distribute_rule,
     assume_merge_nested_rule,
@@ -24,7 +25,7 @@ def graph(expr, **ranges):
 
 
 def run(g, rules, iters=4):
-    return Runner(g, rules, iter_limit=iters, node_limit=4000).run()
+    return Runner(g, rules, budget=Budget(iters=iters, nodes=4000)).run()
 
 
 class TestRow1MuxBranchAssume:

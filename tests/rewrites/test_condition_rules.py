@@ -7,6 +7,7 @@ from repro.ir import var
 from repro.ir.expr import assume, ge, gt, le, lnot, lt, ne, eq
 from repro.rewrites.condition import condition_rules
 from repro.rewrites.arith import arith_rules
+from repro.pipeline.budget import Budget
 
 
 def saturate(expr, extra_rules=(), iters=6, **ranges):
@@ -14,7 +15,7 @@ def saturate(expr, extra_rules=(), iters=6, **ranges):
     root = g.add_expr(expr)
     g.rebuild()
     rules = condition_rules() + list(extra_rules)
-    Runner(g, rules, iter_limit=iters, node_limit=6000).run()
+    Runner(g, rules, budget=Budget(iters=iters, nodes=6000)).run()
     return g, root
 
 

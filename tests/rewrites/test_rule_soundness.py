@@ -22,6 +22,7 @@ from repro.ir.expr import (
     mux, ne, trunc,
 )
 from repro.rewrites import all_rules
+from repro.pipeline.budget import Budget
 
 VARS = [var("a", 4), var("b", 4), var("c", 4)]
 WIDTHS = {"a": 4, "b": 4, "c": 4}
@@ -82,7 +83,7 @@ def test_all_rules_preserve_semantics(seed):
     for _ in range(4):
         g.add_expr(random_expr(rng, 4))
     g.rebuild()
-    Runner(g, all_rules(), iter_limit=4, node_limit=3000).run()
+    Runner(g, all_rules(), budget=Budget(iters=4, nodes=3000)).run()
 
     extractor = Extractor(g, AstSizeCost(), strip_assumes=False)
     envs = [
@@ -115,7 +116,7 @@ def test_analysis_stays_sound_under_rewriting(seed):
     g.add_expr(random_expr(rng, 4))
     g.add_expr(random_expr(rng, 3))
     g.rebuild()
-    Runner(g, all_rules(), iter_limit=4, node_limit=3000).run()
+    Runner(g, all_rules(), budget=Budget(iters=4, nodes=3000)).run()
 
     extractor = Extractor(g, AstSizeCost(), strip_assumes=False)
     envs = [

@@ -10,13 +10,14 @@ from repro.rewrites.mux import mux_cond_const_rule, mux_pull_rule, mux_rules
 from repro.rewrites.range_rules import range_rules
 from repro.rewrites.shift import shift_rules
 from repro.synth import DelayAreaCost
+from repro.pipeline.budget import Budget
 
 
 def optimize(expr, rules, input_ranges=None, iters=6, cost=None):
     g = EGraph([DatapathAnalysis(dict(input_ranges or {}))])
     root = g.add_expr(expr)
     g.rebuild()
-    Runner(g, rules, iter_limit=iters, node_limit=6000).run()
+    Runner(g, rules, budget=Budget(iters=iters, nodes=6000)).run()
     extractor = Extractor(g, cost if cost else AstSizeCost())
     return extractor.expr_of(root), g, root
 
