@@ -68,13 +68,14 @@ def test_fig3_series(benchmark):
     assert min(p.delay for p in tool) <= best_b * 1.05
 
 
-@pytest.mark.xfail(
-    reason="known seed defect: one sweep point's area is non-monotone "
-    "(see ROADMAP Open items); the synthesis sweep needs a fix",
-    strict=False,
-)
 def test_fig3_monotonicity():
-    """All curves must be monotone: looser targets never cost more area."""
+    """All curves must be monotone: looser targets never cost more area.
+
+    Failed at the seed commit (one sweep point's area was non-monotone);
+    fixed by ``area_delay_sweep`` carrying its best-so-far implementation
+    across targets (prefix-min on the frontier) instead of trusting each
+    greedy critical-path-upgrade run independently.
+    """
     state = _sweeps()
     for name in ("behavioural", "tool", "dual-path"):
         areas = [p.area for p in state[name]]

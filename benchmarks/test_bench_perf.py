@@ -21,7 +21,7 @@ from pathlib import Path
 
 from repro import DatapathOptimizer, OptimizerConfig
 from repro.designs import DESIGNS
-from repro.pipeline import RunRecord, record_from_context
+from repro.pipeline import Budget, Job, RunRecord, execute_job, record_from_context
 
 #: Wall time of the identical workload at the seed commit (2e25767),
 #: measured back-to-back with the optimized engine on the same machine.
@@ -143,3 +143,42 @@ def test_perf_fp_sub_optimize():
                 f"fp_sub median regressed >{factor}x vs the last "
                 f"BENCH_perf.json entry: {wall:.3f}s vs {previous:.3f}s"
             )
+
+
+#: Minimum fraction of a governed run's wall the per-stage ledger must
+#: account for.  Extraction and verification used to run entirely outside
+#: the budget; this canary fails if a future stage re-opens that escape
+#: hatch (an unledgered stage shows up as ledger coverage dropping).
+LEDGER_COVERAGE_FLOOR = 0.95
+
+
+def test_perf_fp_sub_budget_ledger_coverage():
+    """The governed fp_sub run's ``RunRecord.budget`` ledger accounts for
+    ~all of the total wall — no unledgered stages (the bench-smoke job's
+    second assertion, alongside the median-regression factor)."""
+    record = execute_job(
+        Job(
+            name="ledger:fp_sub",
+            design="fp_sub",
+            iter_limit=ITER_LIMIT,
+            verify=True,
+            # Generous: the ceiling must not bind — this measures coverage,
+            # not degradation (verify on fp_sub degrades BDD -> random).
+            budget=Budget(time_s=120.0),
+        )
+    )
+    assert record.status == "ok", record.error
+    stages = record.budget["stages"]
+    for label in ("ingest", "saturate", "extract", "verify"):
+        assert label in stages, f"stage {label!r} missing from the ledger"
+    ledgered = sum(row["spent"]["time_s"] for row in stages.values())
+    total = record.budget["spent"]["time_s"]
+    coverage = ledgered / total if total else 1.0
+    print(
+        f"\nfp_sub governed run: {ledgered:.3f}s of {total:.3f}s ledgered "
+        f"({coverage:.1%})"
+    )
+    assert coverage >= LEDGER_COVERAGE_FLOOR, (
+        f"budget ledger covers only {coverage:.1%} of the run's wall — "
+        "some stage is spending outside the ledger"
+    )

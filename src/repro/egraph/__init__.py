@@ -23,6 +23,7 @@ from repro.egraph.extract import (
     AstDepthCost,
     AstSizeCost,
     CostFunction,
+    ExtractReport,
     Extractor,
 )
 
@@ -44,6 +45,7 @@ __all__ = [
     "RunnerReport",
     "StopReason",
     "Extractor",
+    "ExtractReport",
     "CostFunction",
     "AstSizeCost",
     "AstDepthCost",

@@ -11,12 +11,23 @@ expression.  Constraint children never contribute hardware.
 
 Cost functions are pluggable; the delay/area model of the paper lives in
 :mod:`repro.synth.cost` and plugs in here.
+
+Extraction is *anytime*: the fixpoint is a worklist whose intermediate
+``_best`` table is always a sound (if not yet optimal) choice per costed
+class, so a deadline (an absolute instant on an injectable clock — the same
+pattern as :class:`~repro.egraph.runner.Runner`) can cut the refinement
+short and the extractor hands back its best-so-far checkpoint.  The loop
+polls the clock once per worklist step, so an expiring budget is overshot
+by at most one step.
 """
 
 from __future__ import annotations
 
+import math
+import time
 from collections import deque
-from typing import Any, Iterable
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
 
 from repro.egraph.egraph import EGraph
 from repro.egraph.enode import ENode
@@ -48,15 +59,68 @@ class AstDepthCost(CostFunction):
         return 1 + max(child_costs, default=0)
 
 
+@dataclass
+class ExtractReport:
+    """Outcome of one extraction stage (the anytime contract's receipt).
+
+    ``status`` is ``"complete"`` when the cost fixpoint drained its worklist
+    and ``"deadline"`` when the budget cut it short; ``roots`` records, per
+    output, whether the best-so-far checkpoint was used (``"extracted"``) or
+    extraction never costed the root and the behavioural tree was returned
+    unchanged (``"fallback"``).
+    """
+
+    status: str  # "complete" | "deadline"
+    total_time: float = 0.0
+    #: Worklist steps the fixpoint executed (the anytime loop's granularity).
+    steps: int = 0
+    #: Per-output outcome: name -> "extracted" | "fallback".
+    roots: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return self.status == "complete"
+
+    def as_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "total_time_s": round(self.total_time, 6),
+            "steps": self.steps,
+            "roots": dict(self.roots),
+        }
+
+
 class Extractor:
-    """Compute best costs for every class and rebuild best expressions."""
+    """Compute best costs for every class and rebuild best expressions.
+
+    ``deadline`` is an absolute instant on ``clock`` (``time.monotonic`` by
+    default, injectable for deterministic tests).  When it passes, the cost
+    fixpoint stops within one worklist step and :attr:`complete` turns
+    ``False``; the costs computed so far remain a sound checkpoint — any
+    class already costed extracts to a valid (possibly sub-optimal) tree,
+    and :meth:`try_expr_of` reports the rest as unextractable instead of
+    raising.
+    """
 
     def __init__(
-        self, egraph: EGraph, cost_fn: CostFunction, strip_assumes: bool = True
+        self,
+        egraph: EGraph,
+        cost_fn: CostFunction,
+        strip_assumes: bool = True,
+        deadline: float | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         self.egraph = egraph
         self.cost_fn = cost_fn
         self.strip_assumes = strip_assumes
+        self.deadline = math.inf if deadline is None else deadline
+        self.clock: Callable[[], float] = (
+            clock if clock is not None else time.monotonic
+        )
+        #: Worklist steps executed by the fixpoint.
+        self.steps = 0
+        #: False when the deadline cut the fixpoint short.
+        self.complete = True
         self._best: dict[int, tuple[Any, ENode]] = {}
         self._memo: dict[int, Expr] = {}
         self._run_fixpoint()
@@ -88,12 +152,20 @@ class Extractor:
         quiescence.
         """
         find = self.egraph.find
+        clock = self.clock
+        bounded = not math.isinf(self.deadline)
         pending: deque[int] = deque()
         queued: set[int] = set()
         for eclass in self.egraph.classes():
             pending.append(eclass.id)
             queued.add(eclass.id)
         while pending:
+            # Anytime poll: one read per step keeps the overshoot at one
+            # worklist step, and costs nothing when the run is ungoverned.
+            if bounded and clock() > self.deadline:
+                self.complete = False
+                break
+            self.steps += 1
             class_id = pending.popleft()
             queued.discard(class_id)
             root = find(class_id)
@@ -117,6 +189,25 @@ class Extractor:
                     queued.add(parent)
 
     # ---------------------------------------------------------------- queries
+    def has_cost(self, class_id: int) -> bool:
+        """Whether the (possibly truncated) fixpoint costed this class."""
+        return self.egraph.find(class_id) in self._best
+
+    def try_expr_of(self, class_id: int) -> Expr | None:
+        """Best-so-far expression for the class, or ``None``.
+
+        The anytime entry point: a deadline-truncated fixpoint may have left
+        this class uncosted (or costed only through a cycle with no acyclic
+        alternative yet) — both come back as ``None`` so a governed caller
+        can fall back to its own checkpoint instead of handling exceptions.
+        """
+        if not self.has_cost(class_id):
+            return None
+        try:
+            return self.expr_of(class_id)
+        except (KeyError, _CycleError):
+            return None
+
     def cost_of(self, class_id: int) -> Any:
         """Best cost for the class (raises if unextractable)."""
         entry = self._best.get(self.egraph.find(class_id))

@@ -77,6 +77,10 @@ class OptimizerConfig:
     #: how a shared budget splits across shards: ``fair`` | ``weighted``
     #: (by cone size) | ``adaptive`` (fast shards' slack flows to slow ones).
     budget_policy: str = "adaptive"
+    #: a further ceiling on the ``Verify`` stage alone (``time_s`` spans
+    #: from stage start, ``bdd_nodes`` caps BDD growth before the check
+    #: degrades to randomized trials).  None = only the run budget governs.
+    verify_budget: Budget | None = None
     #: assert e-graph invariants after every runner iteration (tests only;
     #: the check sweeps the whole graph).
     check_invariants: bool = False
@@ -210,7 +214,7 @@ class DatapathOptimizer:
                 MergeShards(),
             ]
             if config.verify:
-                stages.append(Verify(strict=True))
+                stages.append(Verify(strict=True, budget=config.verify_budget))
             return Pipeline(stages)
         stages = [Ingest(source=source, roots=dict(roots) if roots else None)]
         if user_splits:
@@ -229,7 +233,7 @@ class DatapathOptimizer:
         # netlist lowering and Verilog emission see the reduced bitwidths.
         stages.append(Extract(key=config.extraction_key, strip_assumes=False))
         if config.verify:
-            stages.append(Verify(strict=True))
+            stages.append(Verify(strict=True, budget=config.verify_budget))
         return Pipeline(stages)
 
     # ----------------------------------------------------------------- entry

@@ -1,100 +1,18 @@
-"""Cost evaluation of plain expression trees and report formatting."""
+"""Report formatting (plus back-compat aliases for the tree cost helpers).
+
+``model_cost``/``egraph_model_cost`` moved to :mod:`repro.synth.treecost` so
+that :mod:`repro.pipeline.stages` can import them at module level without
+the ``repro.opt`` -> ``repro.pipeline`` -> ``repro.opt`` package cycle the
+old home forced (``Extract.run`` used to hide it behind a lazy import).
+They are re-exported here because ``repro.opt.model_cost`` is a documented
+entry point.
+"""
 
 from __future__ import annotations
 
-from typing import Mapping
+from repro.synth.treecost import egraph_model_cost, model_cost
 
-from repro.analysis import DatapathAnalysis, expr_ranges, expr_totals
-from repro.egraph import EGraph, Extractor
-from repro.intervals import IntervalSet
-from repro.ir import ops
-from repro.ir.expr import Expr
-from repro.synth.cost import (
-    CONST_HINT_POSITIONS,
-    DelayArea,
-    DelayAreaCost,
-    lexicographic_key,
-    operator_model,
-)
-
-
-def model_cost(
-    expr: Expr, input_ranges: Mapping[str, IntervalSet] | None = None
-) -> DelayArea:
-    """Section IV-D model cost of a *fixed* expression tree.
-
-    Computed directly over the tree: the tree range/totality analyses supply
-    the widths and the constant-folding knowledge the e-class analysis would
-    derive, and each operator is priced through the same
-    :func:`~repro.synth.cost.operator_model` the extraction objective uses.
-    (Earlier revisions loaded the tree into a throwaway e-graph per call —
-    the dominant cost of reporting on large batches; the e-graph path
-    survives as :func:`egraph_model_cost` and the test suite asserts parity.)
-
-    Folding mirrors the e-class analysis: a total subterm whose range is a
-    single value is a constant (zero cost), an ``ASSUME`` is a wire over its
-    guarded child and folds to a constant when its *refined* range is a
-    single value and the guarded child is total.
-    """
-    ranges = expr_ranges(expr, input_ranges)
-    totals = expr_totals(expr, ranges)
-    memo: dict[Expr, tuple[float, float]] = {}
-
-    stack: list[tuple[Expr, bool]] = [(expr, False)]
-    while stack:
-        node, ready = stack.pop()
-        if node in memo:
-            continue
-        if not ready:
-            stack.append((node, True))
-            stack.extend((c, False) for c in node.children if c not in memo)
-            continue
-        if totals[node] and ranges[node].as_point() is not None:
-            # Folds to a literal constant (free).
-            memo[node] = (0.0, 0.0)
-        elif node.op is ops.ASSUME:
-            guarded = node.children[0]
-            if ranges[node].as_point() is not None and totals[guarded]:
-                # Partial fold: ASSUME(x, C) == ASSUME(k, C) when the
-                # refined range is {k} — costs as the constant.
-                memo[node] = (0.0, 0.0)
-            else:
-                memo[node] = memo[guarded]
-        else:
-            kids = node.children
-            # Mirrors the e-graph path: a child that folds (total +
-            # singleton range) is a literal constant there.
-            consts = [False] * len(kids)
-            for position in CONST_HINT_POSITIONS.get(node.op, ()):
-                child = kids[position]
-                consts[position] = (
-                    totals[child] and ranges[child].as_point() is not None
-                )
-            own_delay, own_area = operator_model(
-                node.op, ranges[node], [ranges[c] for c in kids], consts
-            )
-            delay = own_delay + max((memo[c][0] for c in kids), default=0.0)
-            area = own_area + sum(memo[c][1] for c in kids)
-            memo[node] = (delay, area)
-
-    delay, area = memo[expr]
-    return DelayArea(delay, area, lexicographic_key(delay, area))
-
-
-def egraph_model_cost(
-    expr: Expr, input_ranges: Mapping[str, IntervalSet] | None = None
-) -> DelayArea:
-    """Reference implementation of :func:`model_cost` through the e-graph.
-
-    Loads the tree into a throwaway e-graph (no rewriting) so the extraction
-    cost function sees e-class analysis widths, then costs it as-is.  Kept as
-    the differential oracle for the tree path.
-    """
-    egraph = EGraph([DatapathAnalysis(dict(input_ranges or {}))])
-    root = egraph.add_expr(expr)
-    egraph.rebuild()
-    extractor = Extractor(egraph, DelayAreaCost())
-    return extractor.cost_of(root)
+__all__ = ["model_cost", "egraph_model_cost", "format_comparison"]
 
 
 def format_comparison(

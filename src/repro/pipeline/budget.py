@@ -12,7 +12,8 @@ so an 8-shard run could overshoot its deadline eightfold.
 This module makes the bound a first-class value:
 
 * :class:`Budget` — an immutable quota bundle: wall-clock span and/or an
-  *absolute* monotonic deadline, plus e-node / iteration / e-match quotas.
+  *absolute* monotonic deadline, plus e-node / iteration / e-match quotas
+  and a BDD-node quota for equivalence checking.
   ``None`` components are unlimited.  Budgets are picklable, and because
   ``time.monotonic`` is ``CLOCK_MONOTONIC`` (system-wide on Linux), an
   absolute deadline stays meaningful across process-pool fan-out.
@@ -69,6 +70,9 @@ class Budget:
     nodes: int | None = None
     iters: int | None = None
     matches: int | None = None
+    #: BDD node quota for equivalence checking: a ``Verify`` stage stops
+    #: growing BDDs once the pool is dry and degrades to randomized trials.
+    bdd_nodes: int | None = None
 
     # ------------------------------------------------------------ construction
     @classmethod
@@ -89,6 +93,7 @@ class Budget:
             and self.nodes is None
             and self.iters is None
             and self.matches is None
+            and self.bdd_nodes is None
         )
 
     # ------------------------------------------------------------- combinators
@@ -109,6 +114,7 @@ class Budget:
             nodes=_min_opt(self.nodes, other.nodes),
             iters=_min_opt(self.iters, other.iters),
             matches=_min_opt(self.matches, other.matches),
+            bdd_nodes=_min_opt(self.bdd_nodes, other.bdd_nodes),
         )
 
     def scaled(self, fraction: float) -> "Budget":
@@ -127,13 +133,14 @@ class Budget:
             nodes=part(self.nodes, integer=True),
             iters=part(self.iters, integer=True),
             matches=part(self.matches, integer=True),
+            bdd_nodes=part(self.bdd_nodes, integer=True),
         )
 
     # ------------------------------------------------------------ serialization
     def as_dict(self, include_deadline: bool = True) -> dict:
         """JSON-ready quota dict; unlimited components are omitted."""
         out: dict = {}
-        for key in ("time_s", "deadline", "nodes", "iters", "matches"):
+        for key in ("time_s", "deadline", "nodes", "iters", "matches", "bdd_nodes"):
             if key == "deadline" and not include_deadline:
                 continue
             value = getattr(self, key)
@@ -143,7 +150,12 @@ class Budget:
 
 
 def spend_dict(
-    *, time_s: float = 0.0, nodes: int = 0, iters: int = 0, matches: int = 0
+    *,
+    time_s: float = 0.0,
+    nodes: int = 0,
+    iters: int = 0,
+    matches: int = 0,
+    bdd_nodes: int = 0,
 ) -> dict:
     """The canonical ledger "spent" shape."""
     return {
@@ -151,6 +163,7 @@ def spend_dict(
         "nodes": nodes,
         "iters": iters,
         "matches": matches,
+        "bdd_nodes": bdd_nodes,
     }
 
 
@@ -182,7 +195,7 @@ class BudgetAllocator:
         never floored into an all-zero fan-out."""
         remaining = {
             quota: getattr(budget, quota)
-            for quota in ("nodes", "iters", "matches")
+            for quota in ("nodes", "iters", "matches", "bdd_nodes")
         }
         children = []
         for share in self.shares(weights):
@@ -277,6 +290,7 @@ class BudgetPool:
         self.nodes_left = parent.nodes
         self.iters_left = parent.iters
         self.matches_left = parent.matches
+        self.bdd_nodes_left = parent.bdd_nodes
         self._shares = allocator.shares(self.weights)
         self._index = 0
 
@@ -299,6 +313,7 @@ class BudgetPool:
             nodes = self._adaptive_share(self.nodes_left, fraction)
             iters = self._adaptive_share(self.iters_left, fraction)
             matches = self._adaptive_share(self.matches_left, fraction)
+            bdd_nodes = self._adaptive_share(self.bdd_nodes_left, fraction)
         else:
             fraction = self._shares[index] if index < len(self._shares) else 0.0
             time_share = (
@@ -311,12 +326,16 @@ class BudgetPool:
             matches = self._fixed_share(
                 self.parent.matches, self.matches_left, fraction
             )
+            bdd_nodes = self._fixed_share(
+                self.parent.bdd_nodes, self.bdd_nodes_left, fraction
+            )
         return Budget(
             time_s=time_share,
             deadline=None if math.isinf(self.deadline) else self.deadline,
             nodes=nodes,
             iters=iters,
             matches=matches,
+            bdd_nodes=bdd_nodes,
         )
 
     @staticmethod
@@ -331,7 +350,14 @@ class BudgetPool:
             return None
         return min(math.ceil(total * fraction), left)
 
-    def settle(self, *, nodes: int = 0, iters: int = 0, matches: int = 0) -> None:
+    def settle(
+        self,
+        *,
+        nodes: int = 0,
+        iters: int = 0,
+        matches: int = 0,
+        bdd_nodes: int = 0,
+    ) -> None:
         """Debit what a drawn child actually spent."""
         if self.nodes_left is not None:
             self.nodes_left = max(0, self.nodes_left - nodes)
@@ -339,6 +365,8 @@ class BudgetPool:
             self.iters_left = max(0, self.iters_left - iters)
         if self.matches_left is not None:
             self.matches_left = max(0, self.matches_left - matches)
+        if self.bdd_nodes_left is not None:
+            self.bdd_nodes_left = max(0, self.bdd_nodes_left - bdd_nodes)
 
 
 def concurrent_children(
@@ -394,6 +422,7 @@ class ResourceGovernor:
         self.spent_nodes = 0
         self.spent_iters = 0
         self.spent_matches = 0
+        self.spent_bdd_nodes = 0
         #: label -> {"allocated": quota dict | None, "spent": spend dict}
         self.ledger: dict[str, dict] = {}
 
@@ -413,6 +442,7 @@ class ResourceGovernor:
             nodes=self._left(self.budget.nodes, self.spent_nodes),
             iters=self._left(self.budget.iters, self.spent_iters),
             matches=self._left(self.budget.matches, self.spent_matches),
+            bdd_nodes=self._left(self.budget.bdd_nodes, self.spent_bdd_nodes),
         )
 
     @staticmethod
@@ -426,7 +456,12 @@ class ResourceGovernor:
         remaining = self.remaining()
         return any(
             quota is not None and quota <= 0
-            for quota in (remaining.nodes, remaining.iters, remaining.matches)
+            for quota in (
+                remaining.nodes,
+                remaining.iters,
+                remaining.matches,
+                remaining.bdd_nodes,
+            )
         )
 
     # ---------------------------------------------------------------- charging
@@ -438,6 +473,7 @@ class ResourceGovernor:
         nodes: int = 0,
         iters: int = 0,
         matches: int = 0,
+        bdd_nodes: int = 0,
         allocated: Budget | dict | None = None,
     ) -> None:
         """Record spend under ``label`` (repeat labels accumulate)."""
@@ -460,9 +496,11 @@ class ResourceGovernor:
         spent["nodes"] += nodes
         spent["iters"] += iters
         spent["matches"] += matches
+        spent["bdd_nodes"] += bdd_nodes
         self.spent_nodes += nodes
         self.spent_iters += iters
         self.spent_matches += matches
+        self.spent_bdd_nodes += bdd_nodes
 
     def charge_report(self, label: str, report, allocated=None) -> None:
         """Fold a :class:`~repro.egraph.runner.RunnerReport`'s spend in.
@@ -490,6 +528,7 @@ class ResourceGovernor:
                 nodes=self.spent_nodes,
                 iters=self.spent_iters,
                 matches=self.spent_matches,
+                bdd_nodes=self.spent_bdd_nodes,
             ),
             "stages": {
                 label: {

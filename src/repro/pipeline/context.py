@@ -41,6 +41,10 @@ class PipelineContext:
     reports: list[RunnerReport] = field(default_factory=list)
     #: Extracted (optimized) trees, parallel to ``roots``.
     extracted: dict[str, Expr] = field(default_factory=dict)
+    #: One :class:`~repro.egraph.extract.ExtractReport` per ``Extract``
+    #: stage, in execution order (``status="deadline"`` marks an anytime
+    #: checkpoint cut short by the budget).
+    extract_reports: list[Any] = field(default_factory=list)
     #: Section IV-D model cost of the behavioural tree, per output.
     original_costs: dict[str, DelayArea] = field(default_factory=dict)
     #: Model cost of the extracted tree, per output.

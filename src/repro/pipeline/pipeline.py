@@ -70,8 +70,22 @@ class Pipeline:
             )
         for stage in self.stages:
             started = time.perf_counter()
-            stage.run(ctx)
-            ctx.timings.append((stage.name, time.perf_counter() - started))
+            try:
+                stage.run(ctx)
+            finally:
+                # Record the timing even when the stage raises (a strict
+                # Verify failure, an engine error): failed runs must stay
+                # diagnosable from the run-record trajectory format.
+                elapsed = time.perf_counter() - started
+                ctx.timings.append((stage.name, elapsed))
+                if ctx.governor is not None and not getattr(
+                    stage, "self_charging", False
+                ):
+                    # Close the wall ledger: stages without their own
+                    # governor accounting (Ingest, MergeShards, Emit, ...)
+                    # still consume the pool — an unledgered stage is an
+                    # escape hatch from the budget ceiling.
+                    ctx.governor.charge(stage.name, time_s=elapsed)
         return ctx
 
 

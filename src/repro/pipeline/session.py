@@ -54,10 +54,13 @@ class Job:
     single-phase schedule only (phased schedules raise).
 
     ``budget`` puts the whole job under one accounted
-    :class:`~repro.pipeline.budget.Budget` (every stage — and every shard,
-    split by ``budget_policy`` — draws from that pool and races one
+    :class:`~repro.pipeline.budget.Budget` (every stage — including the
+    anytime ``Extract`` and the interruptible ``Verify`` — and every shard,
+    split by ``budget_policy``, draws from that pool and races one
     deadline); the classic per-stage knobs still apply as ceilings.  A
     session-level budget intersects in on top (see :class:`Session`).
+    ``verify_budget`` is a further ceiling on the ``Verify`` stage alone
+    (its ``time_s`` spans from stage start, ``bdd_nodes`` caps BDD growth).
     """
 
     name: str
@@ -76,6 +79,7 @@ class Job:
     shard_parallel: bool = False
     budget: Budget | None = None
     budget_policy: str = "adaptive"
+    verify_budget: Budget | None = None
 
 
 @dataclass
@@ -110,6 +114,12 @@ class RunRecord:
     #: Resource-governance ledger: the run's budget pool plus
     #: allocated-vs-spent per stage and per shard (empty when ungoverned).
     budget: dict = field(default_factory=dict)
+    #: Anytime-extraction outcome: "complete", "deadline", or a
+    #: comma-joined set when shards disagree (empty for pre-anytime runs).
+    extract_status: str = ""
+    #: How the condensed output's equivalence was established:
+    #: "exhaustive" | "bdd" | "random" | "timeout" (empty when unverified).
+    verify_method: str = ""
     error: str | None = None
 
     # -------------------------------------------------------- serialization
@@ -159,7 +169,7 @@ def job_stages(job: Job, design) -> list[Stage]:
         )
         stages.append(MergeShards())
         if job.verify:
-            stages.append(Verify())
+            stages.append(Verify(budget=job.verify_budget))
         return stages
     if job.phases:
         for index, phase in enumerate(job.phases):
@@ -193,7 +203,7 @@ def job_stages(job: Job, design) -> list[Stage]:
         )
     stages.append(Extract())
     if job.verify:
-        stages.append(Verify())
+        stages.append(Verify(budget=job.verify_budget))
     return stages
 
 
@@ -237,6 +247,10 @@ def record_from_context(
         budget_block = {"stages": dict(ctx.artifacts["shard_budgets"])}
     else:
         budget_block = {}
+    extract_statuses = {r.status for r in ctx.extract_reports}
+    extract_statuses.update(
+        r.extract_status for r in ctx.shard_results if r.extract_status
+    )
     return RunRecord(
         job=job_name,
         design=design_name,
@@ -259,26 +273,40 @@ def record_from_context(
         shard_walls=dict(ctx.artifacts.get("shard_walls", {})),
         shard_pool=ctx.artifacts.get("shard_pool", ""),
         budget=budget_block,
+        extract_status=",".join(sorted(extract_statuses)),
+        verify_method=verdict.method if verdict is not None else "",
     )
 
 
 def execute_job(job: Job) -> RunRecord:
     """Run one job to a record.  Top-level so process pools can pickle it;
-    failures come back as ``status="error"`` records, never exceptions."""
+    failures come back as ``status="error"`` records, never exceptions.
+
+    A failing run still reports whatever the pipeline recorded before the
+    raise — per-stage wall timings and the governor's allocated-vs-spent
+    ledger — so e.g. a strict ``Verify`` failure is diagnosable from the
+    trajectory format (which stage burned the time, what spend the budget
+    saw) instead of reducing to a bare error string.
+    """
+    ctx = PipelineContext()
     try:
         design = get_design(job.design)
-        ctx = Pipeline(job_stages(job, design)).run(
-            input_ranges=design.input_ranges,
+        ctx.input_ranges = dict(design.input_ranges)
+        Pipeline(job_stages(job, design)).run(
+            ctx=ctx,
             budget=job.budget,
             budget_policy=job.budget_policy,
         )
         return record_from_context(job.name, job.design, design.output, ctx)
-    except Exception as err:  # pragma: no cover - exercised via bad jobs
+    except Exception as err:  # exercised via bad jobs and strict Verify
         return RunRecord(
             job=job.name,
             design=job.design,
             status="error",
             error=f"{type(err).__name__}: {err}",
+            runtime_s=ctx.total_seconds,
+            stage_timings=ctx.stage_timings(),
+            budget=ctx.governor.as_dict() if ctx.governor is not None else {},
         )
 
 
@@ -399,6 +427,7 @@ class Session:
                 nodes=spent.get("nodes", 0),
                 iters=spent.get("iters", record.iterations),
                 matches=spent.get("matches", 0),
+                bdd_nodes=spent.get("bdd_nodes", 0),
             )
         return records
 

@@ -120,6 +120,9 @@ class ShardResult:
     stage_timings: dict[str, float] = field(default_factory=dict)
     #: Allocated-vs-spent ledger row: ``{"allocated": {...}?, "spent": {...}}``.
     budget: dict = field(default_factory=dict)
+    #: Extraction outcome inside the shard: "complete" | "deadline" (empty
+    #: for pre-anytime results).
+    extract_status: str = ""
 
     @property
     def stop_reasons(self) -> tuple[str, ...]:
@@ -146,10 +149,14 @@ def sliced_splits(
 
 def shard_pipeline_stages(
     schedule: ShardSchedule,
-    budget: Budget | None = None,
     splits: tuple[Expr, ...] = (),
 ) -> list:
-    """The stage list a schedule expands to inside a shard."""
+    """The stage list a schedule expands to inside a shard.
+
+    The shard's budget allocation is not intersected here: a budgeted
+    :func:`run_shard_task` installs a shard-local governor and every stage
+    (saturation *and* extraction) draws from it.
+    """
     rules = compose_rules(
         schedule.split_threshold,
         schedule.enable_assume,
@@ -166,7 +173,7 @@ def shard_pipeline_stages(
     stages += [
         Saturate(
             rules,
-            budget=base if budget is None else base.intersect(budget),
+            budget=base,
             check_invariants=schedule.check_invariants,
         ),
         Extract(strip_assumes=schedule.strip_assumes),
@@ -175,7 +182,14 @@ def shard_pipeline_stages(
 
 
 def run_shard_task(task: ShardTask) -> ShardResult:
-    """Run one shard to a result.  Top-level so process pools can pickle it."""
+    """Run one shard to a result.  Top-level so process pools can pickle it.
+
+    A budgeted task runs its whole pipeline under its own
+    :class:`~repro.pipeline.budget.ResourceGovernor`, so the shard's
+    *extraction* draws from the shard's pool share too (the anytime
+    extractor races the shard's deadline and checkpoints on expiry),
+    instead of only saturation being governed.
+    """
     from repro.pipeline.pipeline import Pipeline  # package-import cycle
 
     started = time.perf_counter()
@@ -183,18 +197,34 @@ def run_shard_task(task: ShardTask) -> ShardResult:
     ctx = Pipeline(
         [
             Ingest(roots=task.shard.roots),
-            *shard_pipeline_stages(task.schedule, task.budget, splits),
+            *shard_pipeline_stages(task.schedule, splits=splits),
         ]
-    ).run(input_ranges=task.shard.input_ranges)
+    ).run(
+        input_ranges=task.shard.input_ranges,
+        budget=task.budget,
+        budget_policy=task.schedule.budget_policy,
+    )
     wall = time.perf_counter() - started
-    ledger = {
-        "spent": spend_dict(
-            time_s=wall,
-            nodes=sum(report.nodes for report in ctx.reports),
-            iters=sum(len(report.iterations) for report in ctx.reports),
-            matches=sum(report.matches_applied for report in ctx.reports),
-        )
-    }
+    if ctx.governor is not None:
+        governor = ctx.governor
+        ledger = {
+            "spent": spend_dict(
+                time_s=wall,
+                nodes=governor.spent_nodes,
+                iters=governor.spent_iters,
+                matches=governor.spent_matches,
+                bdd_nodes=governor.spent_bdd_nodes,
+            )
+        }
+    else:
+        ledger = {
+            "spent": spend_dict(
+                time_s=wall,
+                nodes=sum(report.nodes for report in ctx.reports),
+                iters=sum(len(report.iterations) for report in ctx.reports),
+                matches=sum(report.matches_applied for report in ctx.reports),
+            )
+        }
     if task.budget is not None:
         ledger["allocated"] = task.budget.as_dict(include_deadline=False)
     return ShardResult(
@@ -207,6 +237,9 @@ def run_shard_task(task: ShardTask) -> ShardResult:
         wall_s=wall,
         stage_timings=ctx.stage_timings(),
         budget=ledger,
+        extract_status=",".join(
+            sorted({report.status for report in ctx.extract_reports})
+        ),
     )
 
 
@@ -243,6 +276,9 @@ class Shard:
     """
 
     name = "shard"
+    #: Charges per-shard ledger rows itself; the pipeline must not add a
+    #: generic wall-time row on top.
+    self_charging = True
 
     def __init__(
         self,
@@ -332,6 +368,7 @@ class Shard:
                     nodes=spent.get("nodes", 0),
                     iters=spent.get("iters", 0),
                     matches=spent.get("matches", 0),
+                    bdd_nodes=spent.get("bdd_nodes", 0),
                     allocated=result.budget.get("allocated"),
                 )
 
@@ -376,6 +413,7 @@ class Shard:
                 nodes=spent.get("nodes", 0),
                 iters=spent.get("iters", 0),
                 matches=spent.get("matches", 0),
+                bdd_nodes=spent.get("bdd_nodes", 0),
             )
             results.append(result)
         return results

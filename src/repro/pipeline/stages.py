@@ -13,20 +13,24 @@ objectives over one saturated e-graph, ``Verify``/``Emit`` are optional.
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import replace
 from typing import Callable, Protocol, Sequence, runtime_checkable
 
 from repro.analysis import DatapathAnalysis
-from repro.egraph import EGraph, Extractor, Runner
+from repro.egraph import EGraph, ExtractReport, Extractor, Runner
 from repro.egraph.rewrite import Rewrite
 from repro.ir.expr import Expr
 from repro.rewrites import compose_rules
 from repro.rewrites.casesplit import case_split_on
 from repro.rtl import emit_verilog, module_to_ir
 from repro.synth.cost import DelayAreaCost, default_key
+from repro.synth.treecost import model_cost
 from repro.verify import check_equivalent
+from repro.verify.equiv import DEFAULT_BDD_NODE_LIMIT
 
-from repro.pipeline.budget import Budget
+from repro.pipeline.budget import Budget, ResourceGovernor
 from repro.pipeline.context import PipelineContext
 
 
@@ -40,6 +44,12 @@ class Stage(Protocol):
     def run(self, ctx: PipelineContext) -> None:
         """Advance the context in place."""
         ...
+
+
+def _stage_window(deadline: float, started: float) -> float:
+    """The wall window a stage was allocated: the span from its start to
+    its effective absolute deadline (governor's and/or its own)."""
+    return max(0.0, deadline - started)
 
 
 class Ingest:
@@ -86,6 +96,7 @@ class Ingest:
         # served by Extract's original-cost memo and the record summaries).
         ctx.reports.clear()
         ctx.extracted.clear()
+        ctx.extract_reports.clear()
         ctx.original_costs.clear()
         ctx.optimized_costs.clear()
         ctx.equivalence.clear()
@@ -138,6 +149,9 @@ class Saturate:
     """
 
     name = "saturate"
+    #: This stage charges its own spend into the governor's ledger; the
+    #: pipeline must not add a generic wall-time row on top.
+    self_charging = True
 
     def __init__(
         self,
@@ -221,7 +235,7 @@ class Saturate:
 
 
 class Extract:
-    """Cost-based extraction with a pluggable objective.
+    """Cost-based extraction with a pluggable objective — an *anytime* stage.
 
     ``key`` orders ``(delay, area)`` costs — the paper's delay-prioritized
     weighted sum by default, or e.g. :func:`~repro.synth.cost.weighted_key`
@@ -229,9 +243,21 @@ class Extract:
     default: the tree-level range analysis re-derives constraint refinements
     from them, so netlist lowering and Verilog emission see the reduced
     bitwidths.
+
+    When the context carries a :class:`~repro.pipeline.budget.ResourceGovernor`,
+    the extractor races the governor's absolute deadline (on the governor's
+    injectable clock): on expiry the cost fixpoint stops within one worklist
+    step and the stage returns its best-so-far checkpoint per root — the
+    sub-optimally-costed tree when the root was reached, the behavioural
+    tree unchanged when it was not.  The outcome lands in an
+    :class:`~repro.egraph.extract.ExtractReport` on
+    ``ctx.extract_reports`` (``status="complete"|"deadline"``) and the
+    stage's wall spend is charged into the governor's ledger — never an
+    exception, never an unledgered overshoot.
     """
 
     name = "extract"
+    self_charging = True
 
     def __init__(
         self,
@@ -245,21 +271,88 @@ class Extract:
             self.name = label
 
     def run(self, ctx: PipelineContext) -> None:
-        from repro.opt.report import model_cost  # avoid a package-import cycle
-
-        extractor = Extractor(
-            ctx.require_egraph(),
-            DelayAreaCost(self.key),
-            strip_assumes=self.strip_assumes,
-        )
-        for name, expr in ctx.roots.items():
-            optimized = extractor.expr_of(ctx.root_ids[name])
-            ctx.extracted[name] = optimized
-            # The behavioural cost is objective-independent; objective
-            # sweeps re-run Extract on one context, so compute it once.
-            if name not in ctx.original_costs:
-                ctx.original_costs[name] = model_cost(expr, ctx.input_ranges)
-            ctx.optimized_costs[name] = model_cost(optimized, ctx.input_ranges)
+        governor = ctx.governor
+        clock = governor.clock if governor is not None else time.monotonic
+        started = clock()
+        deadline = None
+        if governor is not None and not math.isinf(governor.deadline):
+            deadline = governor.deadline
+        extractor: Extractor | None = None
+        root_status: dict[str, str] = {}
+        try:
+            extractor = Extractor(
+                ctx.require_egraph(),
+                DelayAreaCost(self.key),
+                strip_assumes=self.strip_assumes,
+                deadline=deadline,
+                clock=clock,
+            )
+            for name, expr in ctx.roots.items():
+                if extractor.complete:
+                    # Full fixpoint: an unextractable root is an engine
+                    # error and must keep raising, exactly as before the
+                    # anytime redesign.
+                    optimized = extractor.expr_of(ctx.root_ids[name])
+                    root_status[name] = "extracted"
+                else:
+                    optimized = extractor.try_expr_of(ctx.root_ids[name])
+                    if optimized is None:
+                        # Anytime floor: the behavioural tree is always a
+                        # sound implementation of itself, so a deadline
+                        # expiring before the fixpoint costs this root
+                        # degrades the result, never the run.
+                        optimized = expr
+                        root_status[name] = "fallback"
+                    else:
+                        root_status[name] = "extracted"
+                # The behavioural cost is objective-independent; objective
+                # sweeps re-run Extract on one context, so compute it once.
+                if name not in ctx.original_costs:
+                    ctx.original_costs[name] = model_cost(expr, ctx.input_ranges)
+                if optimized is expr:
+                    # The fallback *is* the behavioural tree: reuse its
+                    # cost instead of re-walking a large tree after the
+                    # budget is already exhausted.
+                    cost = ctx.original_costs[name]
+                else:
+                    cost = model_cost(optimized, ctx.input_ranges)
+                    if (
+                        not extractor.complete
+                        and cost.key > ctx.original_costs[name].key
+                    ):
+                        # A truncated fixpoint may only have costed the
+                        # root through an expanded (larger) e-node; the
+                        # anytime contract is never-worse-than-input.
+                        optimized = expr
+                        cost = ctx.original_costs[name]
+                        root_status[name] = "fallback"
+                ctx.extracted[name] = optimized
+                ctx.optimized_costs[name] = cost
+        finally:
+            # Charge even on a raising path (same contract as Verify), so
+            # a failed run's error record still shows where the time went.
+            elapsed = clock() - started
+            if extractor is not None:
+                ctx.extract_reports.append(
+                    ExtractReport(
+                        status="complete" if extractor.complete else "deadline",
+                        total_time=elapsed,
+                        steps=extractor.steps,
+                        roots=dict(root_status),
+                    )
+                )
+            if governor is not None:
+                governor.charge(
+                    self.name,
+                    time_s=elapsed,
+                    allocated=(
+                        Budget(
+                            time_s=round(_stage_window(deadline, started), 6)
+                        )
+                        if deadline is not None
+                        else None
+                    ),
+                )
 
 
 class Verify:
@@ -267,31 +360,110 @@ class Verify:
 
     ``strict=True`` (the default, matching the tool) raises on a proved
     non-equivalence — an optimizer soundness bug must never emit RTL.
+
+    The stage is *interruptible*: it races the governor's absolute deadline
+    (intersected with its own ``budget``, whose ``time_s`` spans from stage
+    start and whose ``bdd_nodes`` caps BDD growth).  A blowing-up BDD stops
+    at the node quota or deadline and degrades to randomized trials
+    (``EquivalenceResult.method == "random"``); a check cut short before
+    any confidence was reached reports ``method == "timeout"`` with
+    ``equivalent=None``.  Degradation never masks a proved difference —
+    ``strict`` still raises on ``equivalent is False`` — and the stage
+    charges its wall and BDD-node spend into the governor's ledger like
+    every other stage (including on the strict-raise path, so failed runs
+    stay diagnosable from the run record).
     """
 
     name = "verify"
+    self_charging = True
 
-    def __init__(self, strict: bool = True, random_trials: int | None = None) -> None:
+    def __init__(
+        self,
+        strict: bool = True,
+        random_trials: int | None = None,
+        budget: Budget | None = None,
+    ) -> None:
         self.strict = strict
         self.random_trials = random_trials
+        self.budget = budget
 
     def run(self, ctx: PipelineContext) -> None:
         if not ctx.extracted:
             raise RuntimeError("Verify needs an Extract stage to run first")
-        for name, expr in ctx.roots.items():
-            optimized = ctx.extracted[name]
-            kwargs = {}
-            if self.random_trials is not None:
-                kwargs["random_trials"] = self.random_trials
-            verdict = check_equivalent(
-                expr, optimized, ctx.input_ranges, **kwargs
-            )
-            ctx.equivalence[name] = verdict
-            if self.strict and verdict.equivalent is False:
-                raise AssertionError(
-                    f"optimizer produced a non-equivalent design for "
-                    f"{name!r} at {verdict.counterexample}"
+        governor = ctx.governor
+        clock = governor.clock if governor is not None else time.monotonic
+        started = clock()
+        deadline = math.inf
+        if self.budget is not None:
+            deadline = self.budget.deadline_at(started)
+        if governor is not None:
+            deadline = min(deadline, governor.deadline)
+        own_quota = self.budget.bdd_nodes if self.budget is not None else None
+        spent_bdd = 0
+        allocated_bdd = None
+        try:
+            for name, expr in ctx.roots.items():
+                optimized = ctx.extracted[name]
+                kwargs = {}
+                if self.random_trials is not None:
+                    kwargs["random_trials"] = self.random_trials
+                quota = self._bdd_pool_left(governor, own_quota, spent_bdd)
+                if quota is not None:
+                    # A quota *tightens* the engine's safety cap; a pool
+                    # larger than the cap must not loosen it.
+                    kwargs["bdd_node_limit"] = min(quota, DEFAULT_BDD_NODE_LIMIT)
+                    if allocated_bdd is None:
+                        allocated_bdd = kwargs["bdd_node_limit"]
+                if not math.isinf(deadline):
+                    kwargs["deadline"] = deadline
+                    kwargs["clock"] = clock
+                verdict = check_equivalent(
+                    expr, optimized, ctx.input_ranges, **kwargs
                 )
+                ctx.equivalence[name] = verdict
+                spent_bdd += verdict.bdd_nodes
+                if self.strict and verdict.equivalent is False:
+                    raise AssertionError(
+                        f"optimizer produced a non-equivalent design for "
+                        f"{name!r} at {verdict.counterexample}"
+                    )
+        finally:
+            if governor is not None:
+                elapsed = clock() - started
+                allocated = {}
+                if not math.isinf(deadline):
+                    allocated["time_s"] = round(
+                        _stage_window(deadline, started), 6
+                    )
+                if allocated_bdd is not None:
+                    allocated["bdd_nodes"] = allocated_bdd
+                governor.charge(
+                    self.name,
+                    time_s=elapsed,
+                    bdd_nodes=spent_bdd,
+                    allocated=allocated or None,
+                )
+
+    @staticmethod
+    def _bdd_pool_left(
+        governor: ResourceGovernor | None, own_quota: int | None, spent: int
+    ) -> int | None:
+        """BDD nodes this check may grow (None = engine default applies).
+
+        The governor's pool is consulted live, so several outputs checked
+        under one stage share it; the stage's own quota is a further
+        ceiling.  A dry pool returns 0 — the BDD strategy then trips
+        immediately and the check degrades to randomized trials.
+        """
+        left = None
+        if governor is not None:
+            remaining = governor.remaining().bdd_nodes
+            if remaining is not None:
+                left = max(0, remaining - spent)
+        if own_quota is not None:
+            own_left = max(0, own_quota - spent)
+            left = own_left if left is None else min(left, own_left)
+        return left
 
 
 class Emit:

@@ -23,6 +23,7 @@ from repro.synth.cost import DelayArea, DelayAreaCost
 from repro.synth.netlist import Gate, Netlist, Signal
 from repro.synth.lower import LoweringError, lower_to_netlist
 from repro.synth.sweep import SynthesisPoint, area_delay_sweep, min_delay_point
+from repro.synth.treecost import egraph_model_cost, model_cost
 
 __all__ = [
     "delay_model",
@@ -37,4 +38,6 @@ __all__ = [
     "SynthesisPoint",
     "area_delay_sweep",
     "min_delay_point",
+    "model_cost",
+    "egraph_model_cost",
 ]

@@ -87,7 +87,7 @@ def operator_model(
 
     The single source of the model's width/constant/shift-level derivation:
     both the e-graph extraction cost (:class:`DelayAreaCost`) and the
-    tree-level cost (:func:`repro.opt.report.model_cost`) price operators
+    tree-level cost (:func:`repro.synth.treecost.model_cost`) price operators
     through here, which is what keeps the two paths in exact parity.
     """
     width = range_width(result_range)

@@ -104,6 +104,16 @@ def area_delay_sweep(
     """Synthesize across delay targets from the floor to ``slack_factor``x.
 
     Returns one :class:`SynthesisPoint` per target — the Figure 3 series.
+
+    The series is area-monotone by construction: a looser target may always
+    reuse a tighter target's implementation (it meets the looser target a
+    fortiori), so the best implementation found so far is carried across the
+    sweep and substituted whenever a fresh greedy run comes back costlier.
+    Without this prefix-min the greedy critical-path upgrader could return
+    a *larger* netlist at a looser target — upgrade order depends on which
+    instance is critical, and a different upgrade path can land on a config
+    that is slower *and* bigger than one already found (the historical
+    non-monotone point in the Figure 3 regeneration).
     """
     floor = min_delay_point(expr, input_ranges)
     top = floor.delay * slack_factor
@@ -111,4 +121,23 @@ def area_delay_sweep(
         floor.delay + (top - floor.delay) * i / max(points - 1, 1)
         for i in range(points)
     ]
-    return [synthesize_at(expr, t, input_ranges) for t in targets]
+    points_out: list[SynthesisPoint] = []
+    best: SynthesisPoint | None = None  # smallest-area implementation so far
+    for target in targets:
+        point = synthesize_at(expr, target, input_ranges)
+        if (
+            best is not None
+            and best.delay <= target
+            and best.area < point.area
+        ):
+            point = SynthesisPoint(
+                target=target,
+                delay=best.delay,
+                area=best.area,
+                met=True,
+                arch_choices=dict(best.arch_choices),
+            )
+        if best is None or (point.area, point.delay) < (best.area, best.delay):
+            best = point
+        points_out.append(point)
+    return points_out

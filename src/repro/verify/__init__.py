@@ -14,14 +14,22 @@ commercial formal tool.  Here:
 
 Input domain constraints (the paper's "input constraints", e.g. Figure 1's
 ``x >= 128``) restrict the quantification domain of the proof.
+
+Checks are *interruptible*: :func:`~repro.verify.equiv.check_equivalent`
+takes an absolute ``deadline`` (on an injectable clock) and the BDD engine
+a node quota — a blowing-up proof stops and degrades to randomized trials,
+and a check cut short before any confidence was reached reports
+``method="timeout"`` with ``equivalent=None``, which is how a
+budget-governed ``Verify`` stage stays inside its pool.
 """
 
-from repro.verify.bdd import BDD, BddLimitError
+from repro.verify.bdd import BDD, BddDeadlineError, BddLimitError
 from repro.verify.equiv import EquivalenceResult, check_equivalent, prove_equivalent
 
 __all__ = [
     "BDD",
     "BddLimitError",
+    "BddDeadlineError",
     "check_equivalent",
     "prove_equivalent",
     "EquivalenceResult",

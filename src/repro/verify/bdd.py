@@ -2,9 +2,35 @@
 
 from __future__ import annotations
 
+import time
+from typing import Callable
+
 
 class BddLimitError(RuntimeError):
-    """The node budget was exhausted (caller should fall back)."""
+    """The node budget was exhausted (caller should fall back).
+
+    ``nodes`` carries the table size at the stop, so the caller can charge
+    the spend into a resource ledger even though the proof was abandoned.
+    """
+
+    def __init__(self, message: str, nodes: int = 0) -> None:
+        super().__init__(message)
+        self.nodes = nodes
+
+
+class BddDeadlineError(BddLimitError):
+    """The wall-clock deadline passed mid-build (caller should fall back)."""
+
+
+#: How many node insertions pass between deadline polls: cheap enough to
+#: stay off the ITE hot path, tight enough that a blowing-up BDD stops
+#: within a few hundred nodes of the deadline.
+_DEADLINE_POLL_INTERVAL = 256
+
+#: How many ``ite`` calls pass between deadline polls.  Memoized/hash-cons
+#: hits do work without inserting nodes, so insertion-only polling would
+#: let lookup-dominated phases run unchecked past the deadline.
+_ITE_POLL_INTERVAL = 4096
 
 
 class BDD:
@@ -13,17 +39,34 @@ class BDD:
     Node ids: 0 and 1 are the terminals; internal nodes are triples
     ``(var, low, high)`` interned in a unique table.  ``low`` is the cofactor
     for var=0.  Variable order is the natural integer order.
+
+    ``deadline`` (an absolute instant on ``clock``, injectable for tests)
+    makes the build interruptible: node creation polls the clock every
+    :data:`_DEADLINE_POLL_INTERVAL` insertions and raises
+    :class:`BddDeadlineError` once the instant passes, so a blowing-up
+    equivalence check degrades instead of overshooting a governed run's
+    budget arbitrarily.
     """
 
     FALSE = 0
     TRUE = 1
 
-    def __init__(self, node_limit: int = 1_000_000) -> None:
+    def __init__(
+        self,
+        node_limit: int = 1_000_000,
+        deadline: float | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
         self.node_limit = node_limit
+        self.deadline = deadline
+        self.clock: Callable[[], float] = (
+            clock if clock is not None else time.monotonic
+        )
         # nodes[i] = (var, low, high); two placeholder rows for terminals.
         self._nodes: list[tuple[int, int, int]] = [(-1, 0, 0), (-1, 1, 1)]
         self._unique: dict[tuple[int, int, int], int] = {}
         self._ite_memo: dict[tuple[int, int, int], int] = {}
+        self._ite_calls = 0
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -40,8 +83,19 @@ class BDD:
         if found is not None:
             return found
         if len(self._nodes) >= self.node_limit:
-            raise BddLimitError(f"BDD exceeded {self.node_limit} nodes")
+            raise BddLimitError(
+                f"BDD exceeded {self.node_limit} nodes", nodes=len(self._nodes)
+            )
         node_id = len(self._nodes)
+        if (
+            self.deadline is not None
+            and node_id % _DEADLINE_POLL_INTERVAL == 0
+            and self.clock() > self.deadline
+        ):
+            raise BddDeadlineError(
+                f"BDD build passed its deadline at {node_id} nodes",
+                nodes=node_id,
+            )
         self._nodes.append(key)
         self._unique[key] = node_id
         return node_id
@@ -60,6 +114,17 @@ class BDD:
 
     def ite(self, f: int, g: int, h: int) -> int:
         """If-then-else: ``f ? g : h``."""
+        if self.deadline is not None:
+            self._ite_calls += 1
+            if (
+                self._ite_calls % _ITE_POLL_INTERVAL == 0
+                and self.clock() > self.deadline
+            ):
+                raise BddDeadlineError(
+                    f"BDD build passed its deadline at {len(self._nodes)} "
+                    "nodes",
+                    nodes=len(self._nodes),
+                )
         if f == self.TRUE:
             return g
         if f == self.FALSE:

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import math
 import random
+import time
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Callable, Mapping
 
 from repro.intervals import IntervalSet
 from repro.ir import expr as ir
@@ -13,19 +15,31 @@ from repro.ir.expr import Expr
 from repro.synth.lower import LoweringError, lower_to_netlist
 from repro.verify.bdd import BDD, BddLimitError
 
+Clock = Callable[[], float]
+
+#: Engine safety cap on BDD growth: past this, a proof attempt is costing
+#: more than the randomized fallback is worth.  Budget quotas *tighten*
+#: this cap (a pool larger than the cap still stops here), they never
+#: raise it.
+DEFAULT_BDD_NODE_LIMIT = 400_000
+
 
 @dataclass
 class EquivalenceResult:
     """Outcome of a check.
 
     ``equivalent`` is ``True`` (proved), ``False`` (counterexample found) or
-    ``None`` (randomized check passed but is not a proof).
+    ``None`` (a non-proof: randomized check passed, or the deadline cut the
+    check short — ``method`` tells which).
     """
 
     equivalent: bool | None
-    method: str  # 'exhaustive' | 'bdd' | 'random'
+    method: str  # 'exhaustive' | 'bdd' | 'random' | 'timeout'
     counterexample: dict[str, int] | None = None
     trials: int = 0
+    #: BDD nodes built while attempting a proof (0 when no BDD ran); the
+    #: spend a governed ``Verify`` stage charges against ``Budget.bdd_nodes``.
+    bdd_nodes: int = 0
 
     @property
     def ok(self) -> bool:
@@ -60,16 +74,27 @@ def check_equivalent(
     b: Expr,
     input_ranges: Mapping[str, IntervalSet] | None = None,
     exhaustive_budget: int = 1 << 16,
-    bdd_node_limit: int = 400_000,
+    bdd_node_limit: int = DEFAULT_BDD_NODE_LIMIT,
     random_trials: int = 5_000,
     seed: int = 0,
+    deadline: float | None = None,
+    clock: Clock | None = None,
 ) -> EquivalenceResult:
     """Check ``a == b`` on the (possibly constrained) input domain.
 
     Strategy: exhaustive simulation when the domain is small enough, then a
     BDD proof, then randomized simulation.  Mirrors how one would back up
     the paper's DPV runs without a commercial tool.
+
+    ``deadline`` (an absolute instant on ``clock``, injectable for tests)
+    makes the check interruptible: an exhaustive or randomized sweep stops
+    between trials, a blowing-up BDD stops within a few hundred nodes and
+    degrades to the randomized path.  A check cut short before it could
+    complete reports ``method="timeout"`` with ``equivalent=None`` — never
+    an exception, never a silent overshoot of a governed run's budget.
     """
+    clock = clock if clock is not None else time.monotonic
+    limit = deadline if deadline is not None else math.inf
     ranges = dict(input_ranges or {})
     widths = _merged_widths(a, b)
     domains = {n: _domain_values(n, w, ranges) for n, w in widths.items()}
@@ -83,14 +108,26 @@ def check_equivalent(
             break
 
     if total is not None:
-        return _exhaustive(a, b, domains)
+        return _exhaustive(a, b, domains, limit, clock)
+
+    if bdd_node_limit <= 0:
+        # A dry BDD quota: skip the proof attempt entirely (lowering the
+        # miter netlist is itself expensive) and go straight to trials.
+        return _random_check(a, b, domains, random_trials, seed, limit, clock)
 
     try:
-        return _bdd_check(a, b, widths, ranges, bdd_node_limit)
-    except (BddLimitError, LoweringError):
-        # BDD blow-up or a form the netlist cannot realize: fall back to
-        # randomized simulation (reported as such, not as a proof).
-        return _random_check(a, b, domains, random_trials, seed)
+        return _bdd_check(a, b, widths, ranges, bdd_node_limit, limit, clock)
+    except LoweringError:
+        # A form the netlist cannot realize: fall back to randomized
+        # simulation (reported as such, not as a proof).
+        return _random_check(a, b, domains, random_trials, seed, limit, clock)
+    except BddLimitError as blown:
+        # BDD blow-up (node quota or deadline): degrade to randomized
+        # simulation, carrying the abandoned proof's node spend so a
+        # governed Verify stage still charges it into the ledger.
+        result = _random_check(a, b, domains, random_trials, seed, limit, clock)
+        result.bdd_nodes = blown.nodes
+        return result
 
 
 def prove_equivalent(
@@ -105,14 +142,27 @@ def prove_equivalent(
 
 
 # ---------------------------------------------------------------- strategies
-def _exhaustive(a: Expr, b: Expr, domains: dict[str, IntervalSet]) -> EquivalenceResult:
+class _DeadlineHit(Exception):
+    """Internal: the check's deadline passed between trials."""
+
+
+def _exhaustive(
+    a: Expr,
+    b: Expr,
+    domains: dict[str, IntervalSet],
+    limit: float,
+    clock: Clock,
+) -> EquivalenceResult:
     names = sorted(domains)
     values = [list(domains[n].iter_values()) for n in names]
     trials = 0
+    bounded = not math.isinf(limit)
 
     def rec(index: int, env: dict[str, int]):
         nonlocal trials
         if index == len(names):
+            if bounded and clock() > limit:
+                raise _DeadlineHit
             trials += 1
             va, vb = evaluate(a, env), evaluate(b, env)
             if va != vb:
@@ -125,7 +175,11 @@ def _exhaustive(a: Expr, b: Expr, domains: dict[str, IntervalSet]) -> Equivalenc
                 return bad
         return None
 
-    counterexample = rec(0, {})
+    try:
+        counterexample = rec(0, {})
+    except _DeadlineHit:
+        # An incomplete sweep that saw no difference is not a proof.
+        return EquivalenceResult(None, "timeout", trials=trials)
     return EquivalenceResult(
         equivalent=counterexample is None,
         method="exhaustive",
@@ -168,6 +222,8 @@ def _bdd_check(
     widths: dict[str, int],
     ranges: Mapping[str, IntervalSet],
     node_limit: int,
+    limit: float = math.inf,
+    clock: Clock = time.monotonic,
 ) -> EquivalenceResult:
     """Prove by building the BDD of ``domain & (a != b)`` over a miter."""
     miter: Expr = ir.ne(a, b)
@@ -190,7 +246,11 @@ def _bdd_check(
                 order[nets[bit]] = position
                 position += 1
 
-    bdd = BDD(node_limit)
+    bdd = BDD(
+        node_limit,
+        deadline=None if math.isinf(limit) else limit,
+        clock=clock,
+    )
     values: dict[int, int] = {0: bdd.FALSE, 1: bdd.TRUE}
     for net, var_index in order.items():
         values[net] = bdd.var(var_index)
@@ -203,7 +263,7 @@ def _bdd_check(
         diff = bdd.apply_or(diff, values[net])
 
     if diff == bdd.FALSE:
-        return EquivalenceResult(True, "bdd", trials=len(bdd))
+        return EquivalenceResult(True, "bdd", trials=len(bdd), bdd_nodes=len(bdd))
     assignment = bdd.any_sat(diff)
     env = {}
     inverse = {pos: net for net, pos in order.items()}
@@ -217,7 +277,9 @@ def _bdd_check(
         if net is not None and bit_value:
             name, bit = net_bit[net]
             env[name] |= 1 << bit
-    return EquivalenceResult(False, "bdd", counterexample=env, trials=len(bdd))
+    return EquivalenceResult(
+        False, "bdd", counterexample=env, trials=len(bdd), bdd_nodes=len(bdd)
+    )
 
 
 def _random_check(
@@ -226,14 +288,21 @@ def _random_check(
     domains: dict[str, IntervalSet],
     trials: int,
     seed: int,
+    limit: float = math.inf,
+    clock: Clock = time.monotonic,
 ) -> EquivalenceResult:
     rng = random.Random(seed)
     samplers = {}
     for name, domain in domains.items():
         parts = domain.parts
         samplers[name] = parts
+    bounded = not math.isinf(limit)
 
     for trial in range(trials):
+        if bounded and clock() > limit:
+            # Cut short: the trials run so far saw no difference, but the
+            # planned confidence was not reached — report the truncation.
+            return EquivalenceResult(None, "timeout", trials=trial)
         env = {}
         for name, parts in samplers.items():
             piece = parts[rng.randrange(len(parts))]

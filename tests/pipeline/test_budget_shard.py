@@ -302,7 +302,11 @@ class TestScheduleBudgetWithoutGovernor:
         ).run(input_ranges=design.input_ranges)
         assert ctx.governor is not None
         assert ctx.governor.budget == Budget(time_s=5.0)
-        assert set(ctx.governor.ledger) == {f"shard:out{k}" for k in range(8)}
+        assert set(ctx.governor.ledger) >= {f"shard:out{k}" for k in range(8)}
+        # Any extra rows are wall-only charges from non-shard stages (the
+        # governor was installed by Shard, so only later stages appear).
+        extras = set(ctx.governor.ledger) - {f"shard:out{k}" for k in range(8)}
+        assert extras <= {"merge-shards"}
 
     def test_children_never_outlive_the_parent_deadline(self):
         design = get_design("stress_wide")

@@ -156,6 +156,8 @@ class TestBudgetedShardParity:
                 == plain.optimized_costs[output].key
             )
         assert governed.governor is not None
-        assert set(governed.governor.ledger) == {
-            f"shard:{r.name}" for r in governed.shard_results
-        }
+        shard_rows = {f"shard:{r.name}" for r in governed.shard_results}
+        assert set(governed.governor.ledger) >= shard_rows
+        # The only other rows are wall-time charges for the non-shard
+        # stages that ran after the governor was installed.
+        assert set(governed.governor.ledger) - shard_rows <= {"merge-shards"}

@@ -90,6 +90,20 @@ class TestSweep:
         assert all(l <= t + 1e-9 for t, l in zip(areas, areas[1:]))
         assert all(p.met for p in points)
 
+    @pytest.mark.parametrize("design", DESIGNS, ids=lambda d: repr(d)[:40])
+    def test_sweep_area_monotone_across_targets(self, design):
+        """The Figure-3 seed defect, pinned at unit scope: a looser delay
+        target must never return a costlier implementation than a tighter
+        one (``area_delay_sweep`` carries best-so-far across targets)."""
+        points = area_delay_sweep(design, points=8)
+        areas = [p.area for p in points]
+        assert all(
+            loose <= tight + 1e-9 for tight, loose in zip(areas, areas[1:])
+        ), f"non-monotone sweep areas {areas}"
+        # ``met`` stays honest on substituted points too.
+        for point in points:
+            assert point.met == (point.delay <= point.target + 1e-9)
+
     def test_input_ranges_shrink_hardware(self):
         constrained = {"x": IntervalSet.of(0, 15), "y": IntervalSet.of(0, 15)}
         wide = min_delay_point(X + Y)

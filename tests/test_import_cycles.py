@@ -1,0 +1,54 @@
+"""Clean-interpreter import checks: the package import DAG stays acyclic.
+
+``Extract.run`` historically hid a ``repro.pipeline`` -> ``repro.opt`` ->
+``repro.pipeline`` package cycle behind a lazy ``model_cost`` import; the
+cost helpers now live in :mod:`repro.synth.treecost` (below both packages)
+and the stage imports them at module level.  Each entry point here is
+imported in its *own* fresh interpreter — inside the test process every
+module is already in ``sys.modules``, which is exactly how import cycles
+hide from an ordinary test suite.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+#: Module entry points that must import from a cold interpreter, in
+#: whatever order a consumer picks them.
+ENTRY_POINTS = [
+    "repro",
+    "repro.pipeline.stages",
+    "repro.pipeline",
+    "repro.opt",
+    "repro.opt.report",
+    "repro.synth.treecost",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module", ENTRY_POINTS)
+def test_entry_point_imports_from_a_clean_interpreter(module):
+    proc = subprocess.run(
+        [sys.executable, "-c", f"import {module}"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, (
+        f"`import {module}` failed in a clean interpreter:\n{proc.stderr}"
+    )
+
+
+def test_stages_bind_the_cycle_free_cost_helper():
+    """The concrete regression: ``Extract`` prices trees through the
+    ``repro.synth.treecost`` helper at module level — re-homing it under
+    ``repro.opt`` would re-form the cycle the lazy import used to hide."""
+    import repro.pipeline.stages as stages
+
+    assert stages.model_cost.__module__ == "repro.synth.treecost"
+    # And the back-compat aliases still point at the same function.
+    from repro.opt import model_cost as opt_model_cost
+
+    assert opt_model_cost is stages.model_cost
