@@ -4,7 +4,11 @@ Times the `fp_sub` optimize run (iter_limit=4, verification off) that the
 engine work is benchmarked against, and emits ``BENCH_perf.json`` at the
 repo root — wall time, nodes/sec and the per-phase split from
 :class:`~repro.egraph.runner.IterationStats` — so the perf trajectory is
-tracked across PRs.
+tracked across PRs.  ``BENCH_perf.json`` carries two interleaved series,
+distinguished by the record's ``job`` field: ``perf:fp_sub`` (the single-
+output hot path) and ``perf:stress_wide`` (the 8-output monolithic
+governed run the flat core unlocked); the bench-smoke factor compares
+each run against the previous entry *of the same series*.
 
 Unlike the paper-figure benches this one is cheap (a few seconds) and runs
 in the default test selection, acting as a regression guard: a change that
@@ -17,6 +21,7 @@ import json
 import os
 import statistics
 import time
+import tracemalloc
 from pathlib import Path
 
 from repro import DatapathOptimizer, OptimizerConfig
@@ -35,6 +40,46 @@ ITER_LIMIT = 4
 
 #: Records kept in the ``BENCH_perf.json`` trajectory (oldest dropped).
 RECORD_HISTORY_CAP = 50
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_perf.json"
+
+
+def _load_trajectory() -> tuple[dict, list]:
+    """The current ``BENCH_perf.json`` payload and its record history."""
+    if BENCH_PATH.exists():
+        try:
+            payload = json.load(BENCH_PATH.open())
+            return payload, payload.get("records", [])
+        except (json.JSONDecodeError, AttributeError):
+            pass
+    return {}, []
+
+
+def _append_entry(payload: dict, history: list, entry: dict) -> list:
+    """Append one record to the capped trajectory and rewrite the file."""
+    history = (history + [entry])[-RECORD_HISTORY_CAP:]
+    payload["records"] = history
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return history
+
+
+def _smoke_guard(history: list, job: str, wall: float) -> None:
+    """Bench-smoke mode (the CI `bench-smoke` job sets BENCH_SMOKE_FACTOR):
+    compare this run's median against the previous trajectory entry *of the
+    same job* — the two series interleave in ``BENCH_perf.json``, so a
+    blind ``history[-2]`` would compare fp_sub against stress_wide.  On one
+    machine this is a tight back-to-back ratio; in CI the previous entry
+    may come from a different (faster) box, which is why the bench-smoke
+    job is advisory, not a merge gate."""
+    factor = float(os.environ.get("BENCH_SMOKE_FACTOR", "0") or 0)
+    series = [e for e in history if e.get("job") == job]
+    if factor and len(series) >= 2:
+        previous = series[-2].get("wall_s")
+        if previous:
+            assert wall <= previous * factor, (
+                f"{job} median regressed >{factor}x vs the last "
+                f"BENCH_perf.json entry: {wall:.3f}s vs {previous:.3f}s"
+            )
 
 
 def _run_once() -> tuple[float, "object"]:
@@ -97,19 +142,11 @@ def test_perf_fp_sub_optimize():
         "perf:fp_sub", "fp_sub", "out", result.context
     )
     record = RunRecord.from_json(record.to_json())  # exercise the round trip
-    out = Path(__file__).resolve().parents[1] / "BENCH_perf.json"
-    history: list = []
-    if out.exists():
-        try:
-            history = json.load(out.open()).get("records", [])
-        except (json.JSONDecodeError, AttributeError):
-            history = []
+    assert record.nodes_per_s > 0, "RunRecord lost its throughput metric"
+    _, history = _load_trajectory()
     entry = record.as_dict()
     entry["wall_s"] = round(wall, 4)
-    history.append(entry)
-    payload["records"] = history[-RECORD_HISTORY_CAP:]
-
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    history = _append_entry(payload, history, entry)
 
     print(f"\nfp_sub optimize (iter_limit={ITER_LIMIT}, verify off)")
     print(f"  wall {wall:.3f}s (seed {SEED_BASELINE_WALL_S}s, {speedup:.1f}x)")
@@ -130,19 +167,115 @@ def test_perf_fp_sub_optimize():
         f"(seed engine baseline {SEED_BASELINE_WALL_S}s on the same machine)"
     )
 
-    # Bench-smoke mode (the CI `bench-smoke` job sets BENCH_SMOKE_FACTOR):
-    # additionally compare this run's median against the *previous*
-    # trajectory entry.  On one machine this is a tight back-to-back
-    # ratio; in CI the previous entry may come from a different (faster)
-    # box, which is why the bench-smoke job is advisory, not a merge gate.
-    factor = float(os.environ.get("BENCH_SMOKE_FACTOR", "0") or 0)
-    if factor and len(history) >= 2:
-        previous = history[-2].get("wall_s")
-        if previous:
-            assert wall <= previous * factor, (
-                f"fp_sub median regressed >{factor}x vs the last "
-                f"BENCH_perf.json entry: {wall:.3f}s vs {previous:.3f}s"
-            )
+    _smoke_guard(history, "perf:fp_sub", wall)
+
+
+#: Absolute ceiling for the governed monolithic stress_wide run.  The flat
+#: core finishes it in well under a second on the baseline box; the old
+#: per-object engine tripped the node limit mid-apply and could not finish
+#: at any speed, so this guards the capability as much as the wall time.
+STRESS_WALL_CEILING_S = 10.0
+
+
+def test_perf_stress_wide_monolithic_governed():
+    """The second ``BENCH_perf.json`` series: ``stress_wide`` (8 output
+    cones, one shared e-graph) run monolithically under the design's
+    default node budget, governed by a shared time budget.  The flat core's
+    eager hashcons re-keying is what lets this complete at all — the series
+    exists so a regression back to transient-duplicate allocation shows up
+    as a stop-reason/wall change here, not just as fp_sub noise."""
+    t0 = time.perf_counter()
+    record = execute_job(
+        Job(
+            name="perf:stress_wide",
+            design="stress_wide",
+            # The registry's 8k node_limit is the *per-shard* budget; the
+            # monolithic series runs under the Saturate stage default (30k),
+            # matching the shard-parity acceptance case.  The time budget is
+            # generous — it governs but must not bind.
+            node_limit=30_000,
+            budget=Budget(time_s=60.0),
+        )
+    )
+    wall = time.perf_counter() - t0
+
+    assert record.status == "ok", record.error
+    assert record.shards == 0, "stress_wide series must stay monolithic"
+    assert record.stop_reason in ("iteration limit", "saturated"), (
+        f"monolithic stress_wide no longer completes: {record.stop_reason!r}"
+    )
+    assert record.nodes_per_s > 0
+
+    payload, history = _load_trajectory()
+    entry = record.as_dict()
+    entry["wall_s"] = round(wall, 4)
+    history = _append_entry(payload, history, entry)
+
+    print(
+        f"\nstress_wide monolithic governed: wall {wall:.3f}s, "
+        f"{record.nodes} nodes, {record.nodes_per_s:.0f} nodes/s, "
+        f"stop {record.stop_reason!r}"
+    )
+    assert wall < STRESS_WALL_CEILING_S, (
+        f"governed monolithic stress_wide regressed: {wall:.3f}s"
+    )
+    _smoke_guard(history, "perf:stress_wide", wall)
+
+
+def test_perf_flat_core_peak_memory_no_worse_than_legacy(monkeypatch):
+    """``tracemalloc`` peak-bytes guard: the flat struct-of-arrays core must
+    not allocate a higher peak than the legacy per-object engine on the
+    bench workload.  The arrays exist to *shrink* the resident graph (no
+    per-node objects, no per-class dict-of-ENode churn), so a flat peak
+    above the object peak means a leak in the core, not noise."""
+    import gc
+
+    import repro.pipeline.stages as stages
+    from repro.egraph import EGraph
+    from repro.egraph.legacy import LegacyEGraph
+    from repro.pipeline import Extract, Ingest, Pipeline, Saturate
+    from repro.rewrites import compose_rules
+
+    design = DESIGNS["fp_sub"]
+
+    def run_once(engine_cls) -> None:
+        monkeypatch.setattr(stages, "EGraph", engine_cls)
+        Pipeline(
+            [
+                Ingest(source=design.verilog),
+                Saturate(
+                    compose_rules(),
+                    iter_limit=ITER_LIMIT,
+                    node_limit=design.node_limit,
+                ),
+                Extract(),
+            ]
+        ).run(input_ranges=design.input_ranges)
+
+    def peak_bytes(engine_cls) -> int:
+        gc.collect()
+        tracemalloc.start()
+        try:
+            run_once(engine_cls)
+            return tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+
+    # Warm both engines untraced first: whichever runs first otherwise pays
+    # the one-time population of process-global caches (operator cost memo,
+    # interned interval sets, compiled matchers) inside its traced peak.
+    run_once(EGraph)
+    run_once(LegacyEGraph)
+    flat = peak_bytes(EGraph)
+    legacy = peak_bytes(LegacyEGraph)
+    print(
+        f"\nfp_sub saturation peak: flat {flat / 1e6:.2f} MB, "
+        f"legacy {legacy / 1e6:.2f} MB ({flat / legacy:.2f}x)"
+    )
+    assert flat <= legacy, (
+        f"flat core peak memory regressed past the object engine: "
+        f"{flat} bytes vs {legacy} bytes"
+    )
 
 
 #: Minimum fraction of a governed run's wall the per-stage ledger must

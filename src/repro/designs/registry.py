@@ -72,10 +72,13 @@ def _designs() -> dict[str, Design]:
             output="out0",
             input_ranges=stress_wide_input_ranges(),
             iterations=4,
-            # Deliberately tight: eight cones cannot finish four iterations
-            # in one shared e-graph under this budget (the monolithic run
-            # stops on the node limit), while any single cone can — the
-            # sharding workload (see repro.pipeline.shard).
+            # Deliberately tight: eight cones fit four iterations in one
+            # shared e-graph under this budget only because the flat core
+            # dedups transient rewrite products eagerly (the old per-object
+            # engine stopped on the node limit mid-apply), while any single
+            # cone fits comfortably — the sharding and engine-throughput
+            # workload (see repro.pipeline.shard and BENCH_perf.json's
+            # stress_wide series).
             node_limit=8_000,
             description="8-lane wide multi-output stress design (sharding)",
         ),

@@ -3,11 +3,18 @@
 The paper builds its RTL optimizer on the Rust `egg` library (Willsey et al.,
 POPL 2021).  This package reimplements the same machinery in Python:
 
-* :mod:`~repro.egraph.unionfind` — disjoint sets with path compression,
+* :mod:`~repro.egraph.unionfind` — disjoint sets with path halving,
 * :mod:`~repro.egraph.enode` — canonicalizable e-nodes,
-* :mod:`~repro.egraph.egraph` — hashconsed e-graph with deferred congruence
-  rebuilding and egg-style e-class analyses,
-* :mod:`~repro.egraph.pattern` — pattern language and e-matching,
+* :mod:`~repro.egraph.core` — the flat struct-of-arrays storage and
+  congruence engine (hashcons over signature tuples, eager union-time
+  re-keying, egg-style e-class analyses, compact pickling),
+* :mod:`~repro.egraph.egraph` — the object-shaped ``EGraph``/``EClass`` API,
+  a thin façade over the core,
+* :mod:`~repro.egraph.legacy` — the previous per-object engine, kept as a
+  differential-testing oracle,
+* :mod:`~repro.egraph.pattern` — pattern language and generic e-matching,
+* :mod:`~repro.egraph.query` — compiled multi-pattern e-matching (all active
+  patterns lowered into one per-op query plan over the core arrays),
 * :mod:`~repro.egraph.rewrite` — declarative and dynamic rewrite rules,
 * :mod:`~repro.egraph.runner` — saturation runner with a backoff scheduler,
 * :mod:`~repro.egraph.extract` — cost-directed extraction.
@@ -15,7 +22,9 @@ POPL 2021).  This package reimplements the same machinery in Python:
 
 from repro.egraph.unionfind import UnionFind
 from repro.egraph.enode import ENode
+from repro.egraph.core import CoreGraph, GraphSnapshot
 from repro.egraph.egraph import Analysis, EClass, EGraph
+from repro.egraph.legacy import LegacyEGraph
 from repro.egraph.pattern import AttrVar, Pattern, PatternNode, PatternVar, parse_pattern
 from repro.egraph.rewrite import Rewrite, rewrite, birewrite
 from repro.egraph.runner import Runner, RunnerReport, StopReason
@@ -30,8 +39,11 @@ from repro.egraph.extract import (
 __all__ = [
     "UnionFind",
     "ENode",
+    "CoreGraph",
+    "GraphSnapshot",
     "EGraph",
     "EClass",
+    "LegacyEGraph",
     "Analysis",
     "Pattern",
     "PatternVar",

@@ -4,12 +4,17 @@ Each e-class renders as a cluster of its e-nodes; edges run from e-nodes to
 child classes.  When the datapath analysis is attached, every cluster is
 labelled with its interval abstraction, mirroring how the paper draws
 interval-annotated e-graphs.
+
+Rendering goes through the read-only :class:`~repro.egraph.core.GraphSnapshot`
+interface, so the same function accepts the :class:`EGraph` façade, a bare
+:class:`~repro.egraph.core.CoreGraph`, or a snapshot taken earlier — all
+three produce byte-identical DOT for the same graph state.
 """
 
 from __future__ import annotations
 
 from repro.analysis.datapath import ANALYSIS_NAME
-from repro.egraph.egraph import EGraph
+from repro.egraph.core import GraphSnapshot
 from repro.ir import ops
 
 
@@ -26,14 +31,16 @@ def _node_label(enode) -> str:
     return base
 
 
-def to_dot(egraph: EGraph, max_classes: int = 200) -> str:
-    """Render the e-graph as a DOT digraph string."""
+def to_dot(egraph, max_classes: int = 200) -> str:
+    """Render an e-graph (façade, core, or snapshot) as a DOT digraph."""
+    snap = egraph if isinstance(egraph, GraphSnapshot) else egraph.snapshot()
+    find = snap.find
     lines = [
         "digraph egraph {",
         "  compound=true; rankdir=BT;",
         "  node [shape=box, fontsize=10];",
     ]
-    classes = sorted(egraph.classes(), key=lambda c: c.id)[:max_classes]
+    classes = sorted(snap.classes, key=lambda c: c.id)[:max_classes]
     for eclass in classes:
         label = f"c{eclass.id}"
         data = eclass.data.get(ANALYSIS_NAME)
@@ -49,7 +56,7 @@ def to_dot(egraph: EGraph, max_classes: int = 200) -> str:
     for eclass in classes:
         for index, enode in enumerate(sorted(eclass.nodes, key=repr)):
             for child in enode.children:
-                child_root = egraph.find(child)
+                child_root = find(child)
                 if child_root not in shown:
                     continue
                 target = f"n{child_root}_0"

@@ -1,12 +1,24 @@
-"""The e-graph: hashcons + union-find + deferred congruence rebuilding.
+"""The e-graph API: a thin façade over the flat struct-of-arrays core.
 
-This follows the `egg` design (Willsey et al., POPL 2021):
+This keeps the `egg` design (Willsey et al., POPL 2021) and the public
+surface the rest of the repo programs against:
 
-* :meth:`EGraph.add` interns an e-node through the hashcons;
+* :meth:`EGraph.add_enode` interns an e-node through the hashcons;
 * :meth:`EGraph.union` merges two e-classes *without* immediately restoring
-  congruence — dirty parents go on a worklist;
+  congruence;
 * :meth:`EGraph.rebuild` restores the congruence invariant and re-runs the
   e-class analyses to their (sound) fixpoint.
+
+The representation, however, now lives in :class:`repro.egraph.core.CoreGraph`:
+e-nodes and classes are rows in parallel int arrays, not Python objects.
+:class:`EClass` is a zero-copy *view* — its ``nodes`` and ``parents``
+properties materialize :class:`~repro.egraph.enode.ENode` values from the
+arrays on demand — and every ``EGraph`` method is a one-hop delegation.  Hot
+consumers (the runner's compiled e-matching, the extractor, sharding) reach
+through :attr:`EGraph.core` and work on the arrays directly; everything else
+keeps the object-shaped API unchanged.  The previous per-object engine
+survives as :class:`repro.egraph.legacy.LegacyEGraph` for differential
+testing.
 
 E-class analyses implement the egg ``Analysis`` interface (``make`` /
 ``join`` / ``modify``).  ``join`` is called both when classes merge and when
@@ -18,117 +30,133 @@ authors' companion paper arXiv:2205.14989).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
+from repro.egraph.core import Analysis, CoreGraph, GraphSnapshot
 from repro.egraph.enode import ENode
-from repro.egraph.unionfind import UnionFind
 from repro.ir import ops
 from repro.ir.expr import Expr
 from repro.ir.ops import Op
 
+__all__ = ["Analysis", "EClass", "EGraph", "merge_callback"]
 
-class Analysis:
-    """Interface of an e-class analysis (egg's ``Analysis`` trait).
 
-    Subclasses provide domain data attached to every e-class and keep it
-    correct as the e-graph grows and merges.
+class EClass:
+    """Read-through view of one equivalence class in the flat core.
+
+    Mirrors the old object ``EClass`` surface (``id`` / ``nodes`` /
+    ``parents`` / ``data`` / ``rev``) but owns no storage: every property
+    reads the core arrays at access time, so a held view stays current as
+    the class grows — while absorbed classes leave the view dangling, exactly
+    as a held object ``EClass`` went stale before.
     """
 
-    name: str = "analysis"
+    __slots__ = ("_core", "id")
 
-    def make(self, egraph: "EGraph", enode: ENode) -> Any:
-        """Data for a fresh e-node (children already carry data)."""
-        raise NotImplementedError
+    def __init__(self, core: CoreGraph, class_id: int) -> None:
+        self._core = core
+        self.id = class_id
 
-    def join(self, left: Any, right: Any) -> Any:
-        """Combine data for two provably-equal e-classes."""
-        raise NotImplementedError
+    @property
+    def nodes(self) -> tuple[ENode, ...]:
+        """The member e-nodes, as (cached) value views over the arrays."""
+        core = self._core
+        view = core.node_enode
+        return tuple(view(nid) for nid in core.class_nodes[self.id])
 
-    def modify(self, egraph: "EGraph", class_id: int) -> None:
-        """Optional hook: mutate the e-graph after data changes (e.g. add a
-        constant node when the data proves the class constant)."""
+    @property
+    def parents(self) -> dict[ENode, int]:
+        """Parent set, keyed by the parent e-node (value: owning class id).
 
+        Materialized from the core's nid-level parent index; dead entries
+        (congruence duplicates killed since insertion) are filtered out.
+        """
+        core = self._core
+        alive = core.node_alive
+        node_class = core.node_class
+        view = core.node_enode
+        return {
+            view(nid): node_class[nid]
+            for nid in core.class_parents[self.id]
+            if alive[nid]
+        }
 
-@dataclass
-class EClass:
-    """One equivalence class of e-nodes."""
+    @property
+    def data(self) -> dict[str, Any]:
+        """Analysis data slots (the live dict — writes are visible)."""
+        return self._core.class_data[self.id]
 
-    id: int
-    nodes: set[ENode] = field(default_factory=set)
-    #: Parent set, keyed by the parent e-node (value: id of the class owning
-    #: it).  A dict instead of a list of tuples: unions concatenate parent
-    #: collections, and list-of-tuples `extend`s accumulated heavy duplication
-    #: on the hot path — the key dedups structurally, and merge becomes one
-    #: ``update``.  Entries may go stale (non-canonical keys / absorbed owner
-    #: ids) between a union and the next rebuild; readers resolve via ``find``.
-    parents: dict[ENode, int] = field(default_factory=dict)
-    data: dict[str, Any] = field(default_factory=dict)
-    #: Membership revision: bumped whenever ``nodes`` changes (a merge brings
-    #: new members in, or a rebuild re-canonicalizes the set).  Analyses use
-    #: it to key per-class membership caches — see
-    #: :func:`repro.analysis.constr.constr_candidates`.
-    rev: int = 0
+    @property
+    def rev(self) -> int:
+        """Membership revision: bumped whenever the member set changes.
+        Analyses use it to key per-class membership caches — see
+        :func:`repro.analysis.constr.constr_candidates`."""
+        return self._core.class_rev[self.id]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EClass(id={self.id}, nodes={len(self._core.class_nodes[self.id])})"
 
 
 class EGraph:
-    """A hashconsed, analysis-carrying e-graph."""
+    """A hashconsed, analysis-carrying e-graph (façade over the flat core)."""
+
+    __slots__ = ("core", "_class_views")
 
     def __init__(self, analyses: Iterable[Analysis] = ()) -> None:
-        self._uf = UnionFind()
-        self._classes: dict[int, EClass] = {}
-        self._hashcons: dict[ENode, int] = {}
-        self._pending: list[tuple[ENode, int]] = []
-        self._analysis_pending: list[tuple[ENode, int]] = []
-        #: Incremental size counter, kept in sync by ``add_enode``/``union``/
-        #: ``_recanonicalize_classes`` so the runner's per-match node-limit
-        #: check is O(1) instead of an O(classes) sweep.
-        self._node_count = 0
-        #: Persistent per-op index: op -> {e-node -> owning class id}.  Kept
-        #: current on add, repaired for dirty classes during ``rebuild``.
-        #: Entries may go stale (non-canonical keys / absorbed class ids)
-        #: between a union and the next rebuild; readers resolve through
-        #: ``find`` and dedup canonicalized entries.
-        self._op_index: dict[Op, dict[ENode, int]] = {}
-        #: Classes whose node sets may hold non-canonical nodes; only these
-        #: are re-canonicalized on rebuild.
-        self._dirty_classes: set[int] = set()
-        self.analyses: tuple[Analysis, ...] = tuple(analyses)
-        #: Incremented on every successful union; rewrite runners use this to
-        #: detect saturation.
-        self.version = 0
+        #: The flat storage + congruence engine.  Hot paths consume this
+        #: directly; the façade methods below are thin delegations.
+        self.core = CoreGraph(analyses, owner=self)
+        self._class_views: dict[int, EClass] = {}
+
+    @property
+    def analyses(self) -> tuple[Analysis, ...]:
+        return self.core.analyses
+
+    @property
+    def version(self) -> int:
+        """Incremented on every successful union; rewrite runners use this
+        to detect saturation."""
+        return self.core.version
 
     # ------------------------------------------------------------------ sizes
     def find(self, class_id: int) -> int:
         """Canonical id of the class containing ``class_id``."""
-        return self._uf.find(class_id)
+        return self.core.uf.find(class_id)
 
     @property
     def class_count(self) -> int:
         """Number of canonical e-classes."""
-        return len(self._classes)
+        return self.core.n_classes
 
     @property
     def node_count(self) -> int:
         """Total number of e-nodes across all classes (O(1))."""
-        return self._node_count
+        return self.core.n_nodes
 
     @property
     def is_clean(self) -> bool:
-        """True when no unions are pending — ids and index entries are
-        canonical (holds directly after :meth:`rebuild`)."""
-        return not self._pending and not self._dirty_classes
+        """True when no congruence or analysis work is pending (holds
+        directly after :meth:`rebuild`)."""
+        return self.core.is_clean
 
     def classes(self) -> Iterator[EClass]:
         """Iterate canonical e-classes (snapshot; safe to mutate during)."""
-        return iter(list(self._classes.values()))
+        getitem = self.__getitem__
+        return iter([getitem(cid) for cid in self.core.class_ids()])
 
     def __getitem__(self, class_id: int) -> EClass:
-        return self._classes[self._uf.find(class_id)]
+        root = self.core.uf.find(class_id)
+        view = self._class_views.get(root)
+        if view is None:
+            if self.core.class_nodes[root] is None:
+                raise KeyError(class_id)
+            view = EClass(self.core, root)
+            self._class_views[root] = view
+        return view
 
     def data(self, class_id: int, analysis: str) -> Any:
         """Analysis data of the class, by analysis name."""
-        return self._classes[self._uf.find(class_id)].data[analysis]
+        return self.core.class_data[self.core.uf.find(class_id)][analysis]
 
     def set_data(self, class_id: int, analysis: str, value: Any) -> None:
         """Overwrite analysis data (used to seed input assumptions).
@@ -137,41 +165,20 @@ class EGraph:
         the class constant must materialize the CONST node — and the parents
         are requeued so the new data propagates upward on the next rebuild.
         """
-        root = self.find(class_id)
-        cls = self._classes[root]
-        cls.data[analysis] = value
-        self._analysis_pending.extend(cls.parents.items())
-        for a in self.analyses:
-            if a.name == analysis:
-                a.modify(self, root)
+        self.core.set_data(class_id, analysis, value)
 
     # ------------------------------------------------------------------- add
     def add_enode(self, enode: ENode) -> int:
         """Intern an e-node, returning its (possibly existing) class id."""
-        enode = enode.canonical(self._uf.find)
-        existing = self._hashcons.get(enode)
-        if existing is not None:
-            return self._uf.find(existing)
-        class_id = self._uf.make_set()
-        eclass = EClass(id=class_id, nodes={enode})
-        self._classes[class_id] = eclass
-        self._hashcons[enode] = class_id
-        self._node_count += 1
-        self._op_index.setdefault(enode.op, {})[enode] = class_id
-        for child in set(enode.children):
-            self._classes[self._uf.find(child)].parents[enode] = class_id
-        for analysis in self.analyses:
-            eclass.data[analysis.name] = analysis.make(self, enode)
-        for analysis in self.analyses:
-            analysis.modify(self, class_id)
-        return self._uf.find(class_id)
+        return self.core.add(enode.op, enode.attrs, enode.children)
 
     def add_node(self, op: Op, attrs: tuple = (), children: Iterable[int] = ()) -> int:
-        """Convenience wrapper building the :class:`ENode` in place."""
-        return self.add_enode(ENode(op, attrs, tuple(children)))
+        """Intern an e-node given as raw parts (no :class:`ENode` built)."""
+        return self.core.add(op, attrs, tuple(children))
 
     def add_expr(self, expr: Expr) -> int:
         """Insert a whole expression tree; returns the root class id."""
+        add = self.core.add
         memo: dict[Expr, int] = {}
         stack: list[tuple[Expr, bool]] = [(expr, False)]
         while stack:
@@ -183,94 +190,43 @@ class EGraph:
                 stack.extend((c, False) for c in node.children if c not in memo)
                 continue
             kids = tuple(memo[c] for c in node.children)
-            memo[node] = self.add_enode(ENode(node.op, node.attrs, kids))
+            memo[node] = add(node.op, node.attrs, kids)
         return memo[expr]
 
     def add_const(self, value: int) -> int:
         """Intern a CONST leaf."""
-        return self.add_node(ops.CONST, (int(value),))
+        return self.core.add(ops.CONST, (int(value),), ())
 
     # ----------------------------------------------------------------- lookup
     def lookup(self, enode: ENode) -> int | None:
         """Class id of an e-node if it is interned, else None."""
-        found = self._hashcons.get(enode.canonical(self._uf.find))
-        if found is None:
-            return None
-        return self._uf.find(found)
+        return self.core.lookup(enode.op, enode.attrs, enode.children)
 
     def class_const(self, class_id: int) -> int | None:
         """The CONST value of a class if it contains a literal node."""
-        for node in self._classes[self.find(class_id)].nodes:
-            if node.op is ops.CONST:
-                return node.attrs[0]
-        return None
+        return self.core.class_const(class_id)
 
     def nodes_by_op(self) -> dict[Op, list[tuple[int, ENode]]]:
-        """Index op -> [(class id, e-node)], from the persistent op-index.
+        """Index op -> [(class id, e-node)], from the core's per-op index.
 
-        This is a cheap per-op snapshot of :attr:`_op_index` rather than a
-        full rescan of every class's node set.  Directly after ``rebuild``
-        all entries are canonical; between rebuilds class ids may be stale
-        (resolve through :meth:`find`, as :func:`~repro.egraph.pattern.ematch`
-        does).
+        Class ids are canonical at snapshot time (the core keeps
+        ``node_class`` canonical for alive nodes); searchers that cache the
+        index across unions still resolve through :meth:`find`, as
+        :func:`~repro.egraph.pattern.ematch` does.
         """
+        core = self.core
+        node_class = core.node_class
+        view = core.node_enode
         return {
-            op: [(cid, node) for node, cid in sub.items()]
-            for op, sub in self._op_index.items()
+            core.ops[op_id]: [(node_class[nid], view(nid)) for nid in sub]
+            for op_id, sub in enumerate(core.op_nodes)
             if sub
         }
 
     # ------------------------------------------------------------------ union
     def union(self, a: int, b: int) -> int:
         """Assert that classes ``a`` and ``b`` are equal; returns the root."""
-        ra, rb = self._uf.find(a), self._uf.find(b)
-        if ra == rb:
-            return ra
-        self.version += 1
-        root, absorbed = self._uf.union(ra, rb)
-        keep = self._classes[root]
-        gone = self._classes.pop(absorbed)
-
-        # Congruence repair is deferred: every parent of the absorbed class
-        # may now be congruent to a parent of the surviving class.
-        self._pending.extend(gone.parents.items())
-
-        keep_changed = gone_changed = False
-        for analysis in self.analyses:
-            old_keep = keep.data[analysis.name]
-            old_gone = gone.data[analysis.name]
-            joined = analysis.join(old_keep, old_gone)
-            keep.data[analysis.name] = joined
-            keep_changed = keep_changed or joined != old_keep
-            gone_changed = gone_changed or joined != old_gone
-        # A side's parents are requeued when the joined data differs from
-        # what that side's parents last saw.  ASSUME parents are requeued
-        # *unconditionally*: even with unchanged data the merged class has
-        # new members, and the ASSUME transfer function (eq. (4)) inspects
-        # constraint-class membership — a freshly merged `a-b > 0` e-node
-        # must refine its ASSUME parents (Section IV-C's condition-rewriting
-        # flow).
-        pend = self._analysis_pending
-        for changed, parents in ((keep_changed, keep.parents), (gone_changed, gone.parents)):
-            if changed:
-                pend.extend(parents.items())
-            else:
-                pend.extend(p for p in parents.items() if p[0].op is ops.ASSUME)
-
-        # Track staleness for the incremental rebuild: the merged class and
-        # every class owning a node that references the absorbed id need
-        # their node sets (and op-index entries) re-canonicalized.
-        self._dirty_classes.add(root)
-        self._dirty_classes.update(gone.parents.values())
-
-        before = len(keep.nodes)
-        keep.nodes |= gone.nodes
-        keep.rev += 1
-        self._node_count += len(keep.nodes) - before - len(gone.nodes)
-        keep.parents.update(gone.parents)
-        for analysis in self.analyses:
-            analysis.modify(self, root)
-        return root
+        return self.core.union(a, b)
 
     # ---------------------------------------------------------------- rebuild
     def rebuild(self, analysis_budget: int = 200_000) -> int:
@@ -280,146 +236,72 @@ class EGraph:
         ``analysis_budget`` caps upward-propagation work; stopping early is
         sound because interval data only ever *tightens* through joins.
         """
-        unions = 0
-        while self._pending or self._analysis_pending:
-            while self._pending:
-                # Parents are requeued unconditionally on every union, so the
-                # worklists accumulate heavy duplication — dedup at drain
-                # time (order-preserving) before paying for repair work.
-                todo, self._pending = list(dict.fromkeys(self._pending)), []
-                for enode, class_id in todo:
-                    self._hashcons.pop(enode, None)
-                    canon = enode.canonical(self._uf.find)
-                    existing = self._hashcons.get(canon)
-                    root = self._uf.find(class_id)
-                    if existing is not None and self._uf.find(existing) != root:
-                        self.union(existing, root)
-                        unions += 1
-                    self._hashcons[canon] = self._uf.find(class_id)
+        return self.core.rebuild(analysis_budget)
 
-            budget = analysis_budget
-            self._analysis_pending = list(dict.fromkeys(self._analysis_pending))
-            while self._analysis_pending and budget:
-                budget -= 1
-                enode, class_id = self._analysis_pending.pop()
-                root = self._uf.find(class_id)
-                eclass = self._classes.get(root)
-                if eclass is None:
-                    continue
-                for analysis in self.analyses:
-                    old = eclass.data[analysis.name]
-                    new = analysis.join(old, analysis.make(self, enode))
-                    if new != old:
-                        eclass.data[analysis.name] = new
-                        self._analysis_pending.extend(eclass.parents.items())
-                        analysis.modify(self, root)
-            if not budget:
-                self._analysis_pending.clear()
-
-        self._recanonicalize_classes()
-        return unions
-
-    def _recanonicalize_classes(self) -> None:
-        """Re-canonicalize node sets, parent lists and op-index entries.
-
-        Only classes marked dirty by ``union`` are touched: a class's node
-        set can only go stale when one of its children's classes is absorbed
-        (it is then a parent of the absorbed class) or when it absorbs
-        another class itself — both paths mark it dirty.
-        """
-        if not self._dirty_classes:
-            return
-        find = self._uf.find
-        dirty_roots = {find(cid) for cid in self._dirty_classes}
-        self._dirty_classes.clear()
-
-        touched: list[tuple[EClass, set[ENode]]] = []
-        for root in dirty_roots:
-            eclass = self._classes[root]
-            old_nodes = eclass.nodes
-            eclass.nodes = {n.canonical(find) for n in old_nodes}
-            if eclass.nodes != old_nodes:
-                eclass.rev += 1
-            self._node_count += len(eclass.nodes) - len(old_nodes)
-            fresh_parents: dict[ENode, int] = {}
-            for enode, pid in eclass.parents.items():
-                fresh_parents[enode.canonical(find)] = find(pid)
-            eclass.parents = fresh_parents
-            touched.append((eclass, old_nodes))
-
-        # Op-index repair in two passes: drop every stale key first, then
-        # re-insert the canonical ones — a stale key of one class can be the
-        # canonical key of another, so interleaving would delete live
-        # entries.
-        op_index = self._op_index
-        for _eclass, old_nodes in touched:
-            for node in old_nodes:
-                sub = op_index.get(node.op)
-                if sub is not None:
-                    sub.pop(node, None)
-        for eclass, _old_nodes in touched:
-            for node in eclass.nodes:
-                op_index.setdefault(node.op, {})[node] = eclass.id
+    # --------------------------------------------------------------- snapshot
+    def snapshot(self, data: bool = True) -> GraphSnapshot:
+        """Read-only view for exporters (see :class:`GraphSnapshot`)."""
+        return self.core.snapshot(data)
 
     # ----------------------------------------------------------------- checks
     def check_invariants(self) -> None:
-        """Assert hashcons/congruence invariants (used by the test-suite)."""
-        find = self._uf.find
-        for class_id, eclass in self._classes.items():
-            assert find(class_id) == class_id, "non-canonical class retained"
-            for node in eclass.nodes:
-                canon = node.canonical(find)
-                owner = self._hashcons.get(canon)
-                assert owner is not None, f"node {canon} missing from hashcons"
-                assert find(owner) == class_id, (
-                    f"hashcons maps {canon} to {find(owner)}, expected {class_id}"
-                )
-        seen: dict[ENode, int] = {}
-        for class_id, eclass in self._classes.items():
-            for node in eclass.nodes:
-                canon = node.canonical(find)
-                if canon in seen:
-                    assert seen[canon] == class_id, f"congruence violated at {canon}"
-                seen[canon] = class_id
+        """Assert engine invariants, array-level and view-level.
 
-        # Parent sets: dict-keyed, so a parent e-node appears at most once
-        # per child class, and every entry resolves (through ``find``) to the
-        # class that owns the canonical form of the parent node and really
-        # references this class as a child.
-        for class_id, eclass in self._classes.items():
-            for penode, pid in eclass.parents.items():
-                canon = penode.canonical(find)
-                owner = self._hashcons.get(canon)
-                assert owner is not None, f"parent {canon} missing from hashcons"
-                assert find(owner) == find(pid), (
-                    f"parent entry {canon} claims owner {find(pid)}, "
-                    f"hashcons says {find(owner)}"
+        First the core checks its flat representation (hashcons, congruence,
+        parent/op indices, counters).  Then the object-shaped façade views
+        are cross-checked against the arrays: every view node must round-trip
+        through ``lookup`` to its class, parent views must resolve and really
+        reference their child class, and the counters must agree with a full
+        sweep over the views — the same contract the object engine asserted.
+        """
+        self.core.check_invariants()
+        find = self.core.uf.find
+
+        seen: dict[ENode, int] = {}
+        swept_nodes = 0
+        swept_classes = 0
+        for eclass in self.classes():
+            swept_classes += 1
+            assert find(eclass.id) == eclass.id, "non-canonical class retained"
+            for node in eclass.nodes:
+                swept_nodes += 1
+                assert node.canonical(find) == node, (
+                    f"façade exposes non-canonical node {node}"
                 )
-                assert class_id in {find(c) for c in canon.children}, (
-                    f"parent {canon} recorded on class {class_id} but does "
+                owner = self.lookup(node)
+                assert owner == eclass.id, (
+                    f"lookup maps {node} to {owner}, expected {eclass.id}"
+                )
+                if node in seen:
+                    assert seen[node] == eclass.id, f"congruence violated at {node}"
+                seen[node] = eclass.id
+            for penode, pid in eclass.parents.items():
+                owner = self.lookup(penode)
+                assert owner is not None, f"parent {penode} missing from hashcons"
+                assert owner == find(pid), (
+                    f"parent entry {penode} claims owner {find(pid)}, "
+                    f"hashcons says {owner}"
+                )
+                assert eclass.id in {find(c) for c in penode.children}, (
+                    f"parent {penode} recorded on class {eclass.id} but does "
                     f"not reference it"
                 )
-
-        # Incremental counters must agree with a full recomputation.
-        swept = sum(len(c.nodes) for c in self._classes.values())
-        assert self._node_count == swept, (
-            f"node_count counter {self._node_count} != swept {swept}"
+        assert self.node_count == swept_nodes, (
+            f"node_count counter {self.node_count} != view sweep {swept_nodes}"
         )
-        assert self.class_count == len(self._classes)
+        assert self.class_count == swept_classes, (
+            f"class_count counter {self.class_count} != view sweep {swept_classes}"
+        )
 
-        # The persistent op-index must agree with a full rescan: canonical
-        # keys only, owned by the right op, resolving to the owning class.
-        expected: dict[ENode, int] = {}
-        for class_id, eclass in self._classes.items():
-            for node in eclass.nodes:
-                expected[node] = class_id
+        # The per-op index, seen through the façade, must agree with a full
+        # rescan of the class views.
+        expected = {
+            node: eclass.id for eclass in self.classes() for node in eclass.nodes
+        }
         indexed: dict[ENode, int] = {}
-        for op, sub in self._op_index.items():
-            for node, class_id in sub.items():
+        for op, pairs in self.nodes_by_op().items():
+            for class_id, node in pairs:
                 assert node.op is op, f"op-index files {node} under {op}"
-                assert node.canonical(find) == node, (
-                    f"stale op-index key {node} after rebuild"
-                )
                 indexed[node] = find(class_id)
         assert indexed == expected, "op-index disagrees with class sweep"
 
@@ -433,10 +315,26 @@ class EGraph:
     def dump(self, limit: int = 50) -> str:
         """Human-readable snapshot for debugging."""
         lines = []
-        for eclass in sorted(self._classes.values(), key=lambda c: c.id)[:limit]:
-            nodes = ", ".join(repr(n) for n in sorted(eclass.nodes, key=repr))
-            lines.append(f"c{eclass.id}: {nodes}")
+        for cls in sorted(self.snapshot(data=False).classes, key=lambda c: c.id)[
+            :limit
+        ]:
+            nodes = ", ".join(repr(n) for n in sorted(cls.nodes, key=repr))
+            lines.append(f"c{cls.id}: {nodes}")
         return "\n".join(lines)
+
+    # ---------------------------------------------------------------- pickling
+    def __reduce__(self):
+        """Delegate to the core's compact array pickling."""
+        return (_egraph_from_core, (self.core,))
+
+
+def _egraph_from_core(core: CoreGraph) -> EGraph:
+    """Unpickling hook: re-attach a façade to a revived core."""
+    egraph = EGraph.__new__(EGraph)
+    egraph.core = core
+    egraph._class_views = {}
+    core.owner = egraph
+    return egraph
 
 
 def merge_callback(egraph: EGraph, pairs: Iterable[tuple[int, int]]) -> int:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 import time
+from array import array
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
@@ -123,7 +124,10 @@ class Extractor:
         self.complete = True
         self._best: dict[int, tuple[Any, ENode]] = {}
         self._memo: dict[int, Expr] = {}
-        self._run_fixpoint()
+        if hasattr(egraph, "core") and hasattr(cost_fn, "own_cost"):
+            self._run_fixpoint_core()
+        else:
+            self._run_fixpoint()
 
     # --------------------------------------------------------------- fixpoint
     def _candidates(self, class_id: int) -> Iterable[ENode]:
@@ -184,6 +188,108 @@ class Extractor:
             self._best[root] = current
             for pid in eclass.parents.values():
                 parent = find(pid)
+                if parent not in queued:
+                    pending.append(parent)
+                    queued.add(parent)
+
+    def _run_fixpoint_core(self) -> None:
+        """Flat-core fixpoint for decomposable delay/area cost functions.
+
+        Same worklist as :meth:`_run_fixpoint`, but over the core's int
+        arrays: candidates are nids iterated straight from the member sets
+        (no :class:`ENode` views), each node's *own* (delay, area) is cached
+        by nid, and the combine — ``delay = own + max(children)``,
+        ``area = own + sum(children)``, ASSUME = its guarded child — runs on
+        plain floats, with comparison keys built by ``cost_fn.key`` and full
+        cost objects materialized only when a class's best improves (so the
+        anytime ``_best`` checkpoint stays identical to the generic path's).
+        """
+        core = self.egraph.core
+        cost_fn = self.cost_fn
+        own_cost = cost_fn.own_cost
+        key_fn = cost_fn.key
+        from_parts = cost_fn.cost_from_parts
+        clock = self.clock
+        bounded = not math.isinf(self.deadline)
+        find = core.uf.find
+        node_first = core.node_first
+        node_nkids = core.node_nkids
+        node_alive = core.node_alive
+        node_class = core.node_class
+        node_op = core.node_op
+        kids_buf = core.kids
+        class_nodes = core.class_nodes
+        class_parents = core.class_parents
+        node_enode = core.node_enode
+        assume_id = core.op_ids.get(ops.ASSUME, -1)
+
+        #: root -> (key, delay, area); mirrors ``_best`` without objects.
+        fast: dict[int, tuple] = {}
+        #: Own (delay, area) of each node (child-independent), as flat
+        #: columns with a NaN not-yet-computed sentinel — a dict of tuples
+        #: here is live exactly when the graph peaks, and would put the
+        #: flat path's peak bytes above the object engine's.
+        nan = math.nan
+        own_delay = array("d", [nan]) * len(node_op)
+        own_area = array("d", [nan]) * len(node_op)
+        pending: deque[int] = deque()
+        queued: set[int] = set()
+        for class_id in core.class_ids():
+            pending.append(class_id)
+            queued.add(class_id)
+        while pending:
+            if bounded and clock() > self.deadline:
+                self.complete = False
+                break
+            self.steps += 1
+            root = find(pending.popleft())
+            queued.discard(root)
+            current = fast.get(root)
+            best_nid = -1
+            for nid in class_nodes[root]:
+                first = node_first[nid]
+                if node_op[nid] == assume_id:
+                    entry = fast.get(find(kids_buf[first]))
+                    if entry is None:
+                        continue
+                    key, delay, area = entry
+                else:
+                    delay = 0.0
+                    area = 0.0
+                    for i in range(first, first + node_nkids[nid]):
+                        entry = fast.get(find(kids_buf[i]))
+                        if entry is None:
+                            break
+                        if entry[1] > delay:
+                            delay = entry[1]
+                        area += entry[2]
+                    else:
+                        d = own_delay[nid]
+                        if d != d:  # NaN: not computed yet
+                            parts = own_cost(self.egraph, root, node_enode(nid))
+                            own_delay[nid] = d = parts[0]
+                            own_area[nid] = parts[1]
+                        delay += d
+                        area += own_area[nid]
+                        key = key_fn(delay, area)
+                        if current is None or key < current[0]:
+                            current = (key, delay, area)
+                            best_nid = nid
+                    continue
+                if current is None or key < current[0]:
+                    current = (key, delay, area)
+                    best_nid = nid
+            if best_nid < 0:
+                continue
+            fast[root] = current
+            self._best[root] = (
+                from_parts(current[1], current[2]),
+                node_enode(best_nid),
+            )
+            for pid in class_parents[root]:
+                if not node_alive[pid]:
+                    continue
+                parent = node_class[pid]
                 if parent not in queued:
                     pending.append(parent)
                     queued.add(parent)

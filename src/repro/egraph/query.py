@@ -1,0 +1,276 @@
+"""Compiled multi-pattern e-matching over the flat core.
+
+The generic :func:`repro.egraph.pattern.ematch` interprets a pattern tree
+per candidate e-node, materializing :class:`ENode` views and recursive
+generator frames as it goes.  This module removes both costs: each
+:class:`PatternNode` is *compiled once* into a specialized Python function
+of nested ``for`` loops over the core's int arrays (op ids compared as
+ints, child classes read straight out of the flat ``kids`` buffer, literal
+leaf sub-patterns folded into one hashcons lookup), and a
+:class:`QueryPlan` groups every active rule by root operator so one
+snapshot of the per-op node index serves all of them.
+
+Compiled matchers require a *clean* graph (directly after ``rebuild``):
+``node_class`` entries and child ids are then canonical, so no ``find``
+calls appear anywhere in the generated code.  The saturation runner — the
+only caller — searches exactly there.  Environments, match order and limit
+truncation replicate the generic matcher's semantics; the generic path
+remains for legacy graphs and ad-hoc queries on dirty graphs.
+
+Generated code for ``(* ?a 2)`` looks like::
+
+    def _matcher(core, cands, limit, out):
+        ... array locals ...
+        _op0 = op_ids.get(_OP0)        # MUL — resolved per call
+        if _op0 is None: return
+        _lf0 = memo.get((_op1, _at1, ()))  # the Const(2) leaf, one dict hit
+        if _lf0 is None: return
+        _lc0 = node_class[_lf0]
+        for n0 in cands:
+            _f0 = node_first[n0]
+            v0 = kids[_f0]
+            if kids[_f0 + 1] != _lc0: continue
+            out.append((node_class[n0], {"a": v0}))
+            if len(out) >= limit: return
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.egraph.pattern import AttrVar, PatternNode, PatternVar
+from repro.ir.ops import Op
+
+#: Compiled matcher: ``matcher(core, candidate_nids, limit, out)`` appends
+#: ``(root_class_id, env)`` pairs to ``out``, stopping at ``limit``.
+Matcher = Callable[[object, list, int, list], None]
+
+_COMPILED: dict[PatternNode, Matcher] = {}
+
+
+class _Emitter:
+    """Builds the source of one compiled matcher."""
+
+    def __init__(self, pattern: PatternNode) -> None:
+        self.pattern = pattern
+        self.prelude: list[str] = []
+        self.body: list[str] = []
+        self.globals: dict[str, object] = {}
+        #: var name -> local holding its binding (class id or attr value).
+        self.bound: dict[str, str] = {}
+        self._serial = 0
+
+    def fresh(self, prefix: str) -> str:
+        self._serial += 1
+        return f"{prefix}{self._serial}"
+
+    def lit(self, value: object) -> str:
+        """Intern a compile-time constant into the function's globals."""
+        name = self.fresh("_K")
+        self.globals[name] = value
+        return name
+
+    def op_id(self, op: Op) -> str:
+        """Prelude local holding the op's interned id (guarded)."""
+        local = self.fresh("_op")
+        self.prelude.append(f"    {local} = op_ids.get({self.lit(op)})")
+        self.prelude.append(f"    if {local} is None: return")
+        return local
+
+    def attr_id(self, attrs: tuple) -> str:
+        """Prelude local holding the attr tuple's interned id (guarded)."""
+        local = self.fresh("_at")
+        self.prelude.append(f"    {local} = attr_ids.get({self.lit(attrs)})")
+        self.prelude.append(f"    if {local} is None: return")
+        return local
+
+    def leaf_class(self, op: Op, attrs: tuple) -> str:
+        """Prelude local holding the class id of a concrete leaf e-node
+        (e.g. a ``Const(2)`` literal) — one hashcons hit per search call."""
+        op_local = self.op_id(op)
+        attr_local = self.attr_id(attrs)
+        nid = self.fresh("_lf")
+        local = self.fresh("_lc")
+        self.prelude.append(
+            f"    {nid} = memo.get(({op_local}, {attr_local}, ()))"
+        )
+        self.prelude.append(f"    if {nid} is None: return")
+        self.prelude.append(f"    {local} = node_class[{nid}]")
+        return local
+
+    # ------------------------------------------------------------- emission
+    def emit_attrs(self, nid: str, pat: PatternNode, ind: str) -> None:
+        """Attribute checks/bindings for the node bound to local ``nid``."""
+        if not pat.attrs:
+            return
+        if not any(isinstance(a, AttrVar) for a in pat.attrs):
+            self.body.append(
+                f"{ind}if node_attr[{nid}] != {self.attr_id(pat.attrs)}: continue"
+            )
+            return
+        tup = self.fresh("_av")
+        self.body.append(f"{ind}{tup} = attr_list[node_attr[{nid}]]")
+        for i, pat_a in enumerate(pat.attrs):
+            if isinstance(pat_a, AttrVar):
+                bound = self.bound.get(pat_a.name)
+                if bound is None:
+                    local = self.fresh("_w")
+                    self.bound[pat_a.name] = local
+                    self.body.append(f"{ind}{local} = {tup}[{i}]")
+                else:
+                    self.body.append(f"{ind}if {tup}[{i}] != {bound}: continue")
+            else:
+                self.body.append(
+                    f"{ind}if {tup}[{i}] != {self.lit(pat_a)}: continue"
+                )
+
+    def emit_node(self, nid: str, pat: PatternNode, depth: int, then) -> None:
+        """Match ``pat``'s attrs and children against the node in local
+        ``nid``; call ``then(depth)`` at every full assignment.  The caller
+        has already ensured the node's op matches."""
+        ind = "    " * depth
+        self.emit_attrs(nid, pat, ind)
+        if pat.op.arity is None:
+            self.body.append(
+                f"{ind}if node_nkids[{nid}] != {len(pat.children)}: continue"
+            )
+        if not pat.children:
+            then(depth)
+            return
+        first = self.fresh("_f")
+        self.body.append(f"{ind}{first} = node_first[{nid}]")
+
+        def step(i: int, depth: int) -> None:
+            if i == len(pat.children):
+                then(depth)
+                return
+            ind = "    " * depth
+            child = pat.children[i]
+            cell = f"kids[{first} + {i}]" if i else f"kids[{first}]"
+            if isinstance(child, PatternVar):
+                bound = self.bound.get(child.name)
+                if bound is None:
+                    local = self.fresh("_v")
+                    self.bound[child.name] = local
+                    self.body.append(f"{ind}{local} = {cell}")
+                else:
+                    self.body.append(f"{ind}if {cell} != {bound}: continue")
+                step(i + 1, depth)
+            elif not child.children and not any(
+                isinstance(a, AttrVar) for a in child.attrs
+            ):
+                # Concrete leaf (a Const literal): its class is unique, so
+                # the whole sub-match is one precomputed id comparison.
+                self.body.append(
+                    f"{ind}if {cell} != {self.leaf_class(child.op, child.attrs)}: "
+                    "continue"
+                )
+                step(i + 1, depth)
+            else:
+                inner = self.fresh("_n")
+                self.body.append(f"{ind}for {inner} in class_nodes[{cell}]:")
+                self.body.append(
+                    f"{ind}    if node_op[{inner}] != {self.op_id(child.op)}: "
+                    "continue"
+                )
+                self.emit_node(
+                    inner, child, depth + 1, lambda d: step(i + 1, d)
+                )
+
+        step(0, depth)
+
+    def compile(self) -> Matcher:
+        root = self.fresh("_n")
+
+        def finish(depth: int) -> None:
+            ind = "    " * depth
+            env = ", ".join(
+                f"{name!r}: {local}" for name, local in self.bound.items()
+            )
+            self.body.append(
+                f"{ind}out_append((node_class[{root}], {{{env}}}))"
+            )
+            self.body.append(f"{ind}if len(out) >= limit: return")
+
+        self.body.append(f"    for {root} in cands:")
+        self.emit_node(root, self.pattern, 2, finish)
+
+        src = "\n".join(
+            [
+                "def _matcher(core, cands, limit, out):",
+                "    op_ids = core.op_ids",
+                "    attr_ids = core.attr_ids",
+                "    memo = core.memo",
+                "    node_op = core.node_op",
+                "    node_attr = core.node_attr",
+                "    node_first = core.node_first",
+                "    node_nkids = core.node_nkids",
+                "    node_class = core.node_class",
+                "    kids = core.kids",
+                "    class_nodes = core.class_nodes",
+                "    attr_list = core.attrs",
+                "    out_append = out.append",
+                *self.prelude,
+                *self.body,
+            ]
+        )
+        namespace = dict(self.globals)
+        exec(src, namespace)  # noqa: S102 - internal codegen, no user input
+        matcher = namespace["_matcher"]
+        matcher.__source__ = src  # debugging aid (inspect the emitted loops)
+        return matcher
+
+
+def compile_pattern(pattern: PatternNode) -> Matcher:
+    """Compile (with caching) a pattern into a flat-core matcher."""
+    matcher = _COMPILED.get(pattern)
+    if matcher is None:
+        matcher = _Emitter(pattern).compile()
+        _COMPILED[pattern] = matcher
+    return matcher
+
+
+class QueryPlan:
+    """All pattern rules of a runner, grouped by root op for batched search.
+
+    One ``search`` call snapshots the per-op candidate list once per root
+    operator and runs every rule's compiled matcher over it — the shared
+    scan that replaces pattern-at-a-time ``ematch``.  Rules with callable
+    (dynamic) searchers are not part of the plan; the runner keeps
+    dispatching those through :meth:`Rewrite.search`.
+    """
+
+    def __init__(self, rules) -> None:
+        self.groups: dict[Op, list] = {}
+        self.matchers: dict[str, Matcher] = {}
+        for rule in rules:
+            searcher = rule.searcher
+            if isinstance(searcher, PatternNode):
+                self.groups.setdefault(searcher.op, []).append(rule)
+                self.matchers[rule.name] = compile_pattern(searcher)
+
+    def __contains__(self, rule_name: str) -> bool:
+        return rule_name in self.matchers
+
+    def search(self, core, budgets: dict[str, int]) -> dict[str, list]:
+        """Match every rule named in ``budgets`` (name -> match limit).
+
+        Returns rule name -> ``[(class_id, env), ...]`` for each searched
+        rule (present even when empty, so schedulers can record a zero).
+        The core must be clean (just rebuilt).
+        """
+        results: dict[str, list] = {}
+        op_ids = core.op_ids
+        op_nodes = core.op_nodes
+        for op, rules in self.groups.items():
+            wanted = [rule for rule in rules if rule.name in budgets]
+            if not wanted:
+                continue
+            op_id = op_ids.get(op)
+            cands = list(op_nodes[op_id]) if op_id is not None else []
+            for rule in wanted:
+                out: list = []
+                if cands:
+                    self.matchers[rule.name](core, cands, budgets[rule.name], out)
+                results[rule.name] = out
+        return results

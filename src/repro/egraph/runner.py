@@ -21,6 +21,7 @@ from enum import Enum
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.egraph.egraph import EGraph
+from repro.egraph.query import QueryPlan
 from repro.egraph.rewrite import Rewrite
 
 if TYPE_CHECKING:  # import at runtime happens lazily (package-cycle-free)
@@ -166,10 +167,19 @@ class RunnerReport:
         return out
 
 
+#: Per-rule match budget before the backoff scheduler bans a rule.  Tuned
+#: for a single output cone; multi-output monolithic runs scale it by the
+#: root count (see :class:`repro.pipeline.stages.Saturate`) so one shared
+#: e-graph is not starved relative to per-output shards.
+DEFAULT_MATCH_LIMIT = 1_000
+
+
 class BackoffScheduler:
     """Ban rules that over-match, with doubling ban lengths."""
 
-    def __init__(self, match_limit: int = 1_000, ban_length: int = 2) -> None:
+    def __init__(
+        self, match_limit: int = DEFAULT_MATCH_LIMIT, ban_length: int = 2
+    ) -> None:
         self.match_limit = match_limit
         self.ban_length = ban_length
         self._banned_until: dict[str, int] = {}
@@ -263,6 +273,11 @@ class Runner:
         #: check is a full sweep).
         self.check_invariants = check_invariants
         self._spent_once_rules: set[str] = set()
+        #: Compiled multi-pattern plan (flat-core e-graphs only): all
+        #: pattern-searcher rules lowered once, searched in one batched
+        #: per-op scan each iteration.  Legacy graphs keep the generic
+        #: pattern-at-a-time path.
+        self._plan = QueryPlan(self.rules) if hasattr(egraph, "core") else None
 
     # Legacy views of the budget (read-only; the shim keeps old call sites
     # and introspection working).
@@ -313,11 +328,22 @@ class Runner:
                 classes_before=self.egraph.class_count,
             )
             version_before = self.egraph.version
-            index = self.egraph.nodes_by_op()
+            index: dict | None = None
 
             # --- search phase -------------------------------------------
             t0 = clock()
             matches: list[tuple[Rewrite, list[tuple[int, dict]]]] = []
+            plan_results: dict[str, list] = {}
+            if self._plan is not None and clock() <= deadline:
+                budgets = {
+                    rule.name: self.scheduler.budget(rule)
+                    for rule in self.rules
+                    if rule.name in self._plan
+                    and not (rule.once and rule.name in self._spent_once_rules)
+                    and self.scheduler.enabled(rule, iteration)
+                }
+                if budgets:
+                    plan_results = self._plan.search(self.egraph.core, budgets)
             for rule in self.rules:
                 if clock() > deadline:
                     stop = StopReason.TIME_LIMIT
@@ -326,7 +352,15 @@ class Runner:
                     continue
                 if not self.scheduler.enabled(rule, iteration):
                     continue
-                found = rule.search(self.egraph, index, self.scheduler.budget(rule))
+                found = plan_results.get(rule.name)
+                if found is None:
+                    # Dynamic rule, legacy graph, or the plan was skipped
+                    # (deadline already blown): generic search path.
+                    if index is None:
+                        index = self.egraph.nodes_by_op()
+                    found = rule.search(
+                        self.egraph, index, self.scheduler.budget(rule)
+                    )
                 self.scheduler.record(rule, len(found), iteration)
                 if found:
                     matches.append((rule, found))

@@ -1,10 +1,20 @@
-"""Disjoint-set forest with path compression and union by size."""
+"""Disjoint-set forest with iterative path halving and union by size.
+
+``find`` is a single pass: every node on the walk is re-pointed at its
+grandparent (*path halving*, Tarjan & van Leeuwen), which gives the same
+amortized near-O(1) bound as full two-pass compression without revisiting
+the path.  The loop is iterative by construction — deep parent chains (the
+flat core regularly unions thousands of classes) can never hit Python's
+recursion limit.
+"""
 
 from __future__ import annotations
 
 
 class UnionFind:
     """Union-find over dense integer ids created by :meth:`make_set`."""
+
+    __slots__ = ("_parent", "_size")
 
     def __init__(self) -> None:
         self._parent: list[int] = []
@@ -21,14 +31,12 @@ class UnionFind:
         return new_id
 
     def find(self, item: int) -> int:
-        """Canonical representative of ``item`` (with path compression)."""
-        root = item
+        """Canonical representative of ``item`` (iterative path halving)."""
         parent = self._parent
-        while parent[root] != root:
-            root = parent[root]
-        while parent[item] != root:
-            parent[item], item = root, parent[item]
-        return root
+        while parent[item] != item:
+            # Halve the path: point item at its grandparent, then step there.
+            parent[item] = item = parent[parent[item]]
+        return item
 
     def in_same_set(self, a: int, b: int) -> bool:
         return self.find(a) == self.find(b)

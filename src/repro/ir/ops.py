@@ -24,13 +24,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Op:
     """An operator of the intermediate language.
 
     ``arity`` is the number of expression children; ``None`` marks the
     variadic ``ASSUME``.  ``attr_names`` documents the positional attribute
     tuple carried by nodes of this operator.
+
+    Operators are singletons (``__reduce__`` resolves unpickles back to the
+    catalogue), so equality and hashing are by identity — every containing
+    dataclass (expressions, e-nodes, patterns) and every ``op in (...)``
+    dispatch compares one pointer instead of three fields.
     """
 
     name: str

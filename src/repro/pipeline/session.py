@@ -94,6 +94,9 @@ class RunRecord:
     iterations: int = 0
     nodes: int = 0
     classes: int = 0
+    #: Final e-graph nodes per saturation-wall second (0.0 when no
+    #: saturation ran) — the raw-speed engine metric the perf series guards.
+    nodes_per_s: float = 0.0
     original_delay: float = 0.0
     original_area: float = 0.0
     optimized_delay: float = 0.0
@@ -234,6 +237,8 @@ def record_from_context(
         nodes = report.nodes if report else 0
         classes = report.classes if report else 0
         stop_reason = report.stop_reason.value if report else ""
+    saturate_s = sum(r.total_time for r in ctx.reports)
+    nodes_per_s = round(nodes / saturate_s, 1) if saturate_s else 0.0
     stage_timings = ctx.stage_timings()
     for result in ctx.shard_results:
         # Fold each shard's internal breakdown in under its shard name —
@@ -260,6 +265,7 @@ def record_from_context(
         iterations=sum(len(r.iterations) for r in ctx.reports),
         nodes=nodes,
         classes=classes,
+        nodes_per_s=nodes_per_s,
         original_delay=before.delay if before else 0.0,
         original_area=before.area if before else 0.0,
         optimized_delay=after.delay if after else 0.0,

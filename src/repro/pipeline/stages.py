@@ -20,6 +20,7 @@ from typing import Callable, Protocol, Sequence, runtime_checkable
 
 from repro.analysis import DatapathAnalysis
 from repro.egraph import EGraph, ExtractReport, Extractor, Runner
+from repro.egraph.runner import DEFAULT_MATCH_LIMIT, BackoffScheduler
 from repro.egraph.rewrite import Rewrite
 from repro.ir.expr import Expr
 from repro.rewrites import compose_rules
@@ -200,10 +201,22 @@ class Saturate:
         governor = ctx.governor
         egraph = ctx.require_egraph()
         seed_nodes = egraph.node_count
+        # Match-budget fairness: the backoff limit is tuned for one output
+        # cone, and a shard gets exactly that.  A monolithic run shares one
+        # e-graph across every output, so the same absolute limit would ban
+        # rules after exploring a fraction of each cone — scale it by the
+        # root count so monolithic and sharded runs explore each cone
+        # equally deeply.
+        scheduler = None
+        if len(ctx.roots) > 1:
+            scheduler = BackoffScheduler(
+                match_limit=DEFAULT_MATCH_LIMIT * len(ctx.roots)
+            )
         runner = Runner(
             egraph,
             self.rules,
             budget=budget,
+            scheduler=scheduler,
             check_invariants=self.check_invariants,
             clock=governor.clock if governor is not None else None,
         )

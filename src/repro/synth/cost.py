@@ -102,13 +102,27 @@ def operator_model(
     elif op in (ops.LT, ops.LE, ops.GT, ops.GE, ops.EQ, ops.NE, ops.ADD, ops.SUB):
         const_operand = any(operand_is_const)
 
-    kwargs = {
-        "width": width,
-        "operand_widths": operand_widths,
-        "shift_levels": shift_levels,
-        "const_operand": const_operand,
-    }
-    return delay_model(op, **kwargs), area_model(op, **kwargs)
+    # The models are pure in the derived parameters, and saturation produces
+    # thousands of nodes sharing a handful of (op, widths) shapes — memoize
+    # on the derived key (ops hash by identity, so the key is cheap).
+    key = (op, width, operand_widths, shift_levels, const_operand)
+    cached = _MODEL_MEMO.get(key)
+    if cached is None:
+        kwargs = {
+            "width": width,
+            "operand_widths": operand_widths,
+            "shift_levels": shift_levels,
+            "const_operand": const_operand,
+        }
+        cached = _MODEL_MEMO[key] = (
+            delay_model(op, **kwargs),
+            area_model(op, **kwargs),
+        )
+    return cached
+
+
+#: (op, width, operand_widths, shift_levels, const_operand) -> (delay, area).
+_MODEL_MEMO: dict[tuple, tuple[float, float]] = {}
 
 
 class DelayAreaCost(CostFunction):
@@ -132,6 +146,20 @@ class DelayAreaCost(CostFunction):
         own_delay, own_area = own
         delay = own_delay + max((c.delay for c in child_costs), default=0.0)
         area = own_area + sum(c.area for c in child_costs)
+        return DelayArea(delay, area, self.key(delay, area))
+
+    # Decomposed interface consumed by the extractor's flat-core fixpoint
+    # (`Extractor._run_fixpoint_core`): the node's own contribution and the
+    # parts -> cost-object constructor, so the fixpoint can fold delay/area
+    # as plain floats and only materialize `DelayArea` on improvement.
+    def own_cost(
+        self, egraph: EGraph, class_id: int, enode: ENode
+    ) -> tuple[float, float]:
+        """(delay, area) of the node itself, before child contributions."""
+        return self._model(egraph, class_id, enode)
+
+    def cost_from_parts(self, delay: float, area: float) -> DelayArea:
+        """Rebuild the ordered cost object from folded parts."""
         return DelayArea(delay, area, self.key(delay, area))
 
     def _model(self, egraph: EGraph, class_id: int, enode: ENode) -> tuple[float, float]:

@@ -1,0 +1,75 @@
+"""Golden-output DOT export: identical over façade, core, and snapshot."""
+
+from textwrap import dedent
+
+from repro.analysis import DatapathAnalysis
+from repro.egraph import EGraph
+from repro.egraph.dot import to_dot
+from repro.intervals import IntervalSet
+from repro.ir import ops
+
+GOLDEN = dedent(
+    """\
+    digraph egraph {
+      compound=true; rankdir=BT;
+      node [shape=box, fontsize=10];
+      subgraph cluster_0 { label="c0";
+        n0_0 [label="a:4"];
+      }
+      subgraph cluster_1 { label="c1";
+        n1_0 [label="b:4"];
+      }
+      subgraph cluster_2 { label="c2";
+        n2_0 [label="+"];
+        n2_1 [label="<<"];
+      }
+      subgraph cluster_3 { label="c3";
+        n3_0 [label="1"];
+      }
+      n2_0 -> n0_0 [lhead=cluster_0];
+      n2_0 -> n1_0 [lhead=cluster_1];
+      n2_1 -> n0_0 [lhead=cluster_0];
+      n2_1 -> n3_0 [lhead=cluster_3];
+    }"""
+)
+
+
+def _build() -> EGraph:
+    g = EGraph()
+    a = g.add_node(ops.VAR, ("a", 4))
+    b = g.add_node(ops.VAR, ("b", 4))
+    add = g.add_node(ops.ADD, (), (a, b))
+    shl = g.add_node(ops.SHL, (), (a, g.add_node(ops.CONST, (1,))))
+    g.union(add, shl)
+    g.rebuild()
+    return g
+
+
+def test_dot_matches_golden():
+    assert to_dot(_build()) == GOLDEN
+
+
+def test_dot_identical_over_facade_core_and_snapshot():
+    g = _build()
+    rendered = to_dot(g)
+    assert to_dot(g.core) == rendered
+    assert to_dot(g.snapshot()) == rendered
+
+
+def test_dot_interval_labels_come_from_analysis_data():
+    g = EGraph([DatapathAnalysis({"x": IntervalSet.of(3, 7)})])
+    g.add_node(ops.VAR, ("x", 4))
+    g.rebuild()
+    text = to_dot(g)
+    assert "c0" in text and "[3, 7]" in text
+    assert to_dot(g.core) == text
+
+
+def test_dot_max_classes_truncates_deterministically():
+    g = EGraph()
+    for i in range(8):
+        g.add_node(ops.VAR, (f"v{i}", 4))
+    g.rebuild()
+    text = to_dot(g, max_classes=3)
+    assert text.count("subgraph") == 3
+    assert to_dot(g.core, max_classes=3) == text

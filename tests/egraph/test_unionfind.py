@@ -60,6 +60,101 @@ def test_matches_naive_partition(pairs):
             assert uf.in_same_set(x, y) == (naive_find(x) is naive_find(y))
 
 
+def _chain_length(uf: UnionFind, item: int) -> int:
+    """Parent hops from ``item`` to its root (no mutation)."""
+    parent, hops = uf._parent, 0
+    while parent[item] != item:
+        item = parent[item]
+        hops += 1
+    return hops
+
+
+@given(st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=120))
+def test_find_is_idempotent_and_canonical(pairs):
+    """find(x) is a fixed point: a root maps to itself, repeated calls agree,
+    and two items report equal roots iff in_same_set says so."""
+    uf = UnionFind()
+    for _ in range(30):
+        uf.make_set()
+    for a, b in pairs:
+        uf.union(a, b)
+    roots = [uf.find(x) for x in range(30)]
+    for x, root in enumerate(roots):
+        assert uf.find(root) == root
+        assert uf.find(x) == root
+    for x in range(30):
+        for y in range(30):
+            assert (roots[x] == roots[y]) == uf.in_same_set(x, y)
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=120),
+    st.lists(st.integers(0, 29), max_size=60),
+)
+def test_interleaved_finds_never_change_the_partition(pairs, probes):
+    """Path halving is observationally pure: a run with finds interleaved
+    produces the same partition as the same unions without them."""
+    plain, probed = UnionFind(), UnionFind()
+    for _ in range(30):
+        plain.make_set()
+        probed.make_set()
+    probe_iter = iter(probes)
+    for a, b in pairs:
+        plain.union(a, b)
+        probed.union(a, b)
+        for x in (next(probe_iter, None),):
+            if x is not None:
+                probed.find(x)
+    for x in range(30):
+        for y in range(30):
+            assert plain.in_same_set(x, y) == probed.in_same_set(x, y)
+
+
+@given(st.lists(st.tuples(st.integers(0, 49), st.integers(0, 49)), max_size=200))
+def test_path_halving_never_lengthens_chains(pairs):
+    """Each find leaves the walked item's chain no longer than before, and
+    afterwards the item points at most halfway up its old path."""
+    uf = UnionFind()
+    for _ in range(50):
+        uf.make_set()
+    for a, b in pairs:
+        uf.union(a, b)
+        before = _chain_length(uf, a)
+        uf.find(a)
+        after = _chain_length(uf, a)
+        assert after <= before
+        if before > 1:
+            assert after <= before - before // 2
+
+
+def test_find_handles_pathological_chains_iteratively():
+    """A maximally deep parent chain (never produced by union-by-size, but
+    the worst case for a recursive find) resolves without recursion."""
+    uf = UnionFind()
+    n = 50_000
+    for _ in range(n):
+        uf.make_set()
+    uf._parent[:] = [max(0, i - 1) for i in range(n)]
+    uf._size[0] = n
+    assert uf.find(n - 1) == 0
+    assert _chain_length(uf, n - 1) <= (n // 2) + 1
+    for _ in range(20):
+        uf.find(n - 1)
+    assert _chain_length(uf, n - 1) <= 1
+
+
+def test_union_by_size_absorbs_the_smaller_set():
+    uf = UnionFind()
+    ids = [uf.make_set() for _ in range(5)]
+    uf.union(ids[0], ids[1])
+    uf.union(ids[0], ids[2])  # {0,1,2} rooted somewhere
+    big = uf.find(ids[0])
+    root, absorbed = uf.union(ids[3], ids[0])
+    assert root == big
+    assert absorbed == ids[3]
+    assert uf.find(ids[3]) == big
+
+
 def test_path_compression_keeps_answers_stable():
     uf = UnionFind()
     ids = [uf.make_set() for _ in range(100)]

@@ -59,6 +59,38 @@ def test_interval_sets_unpickle_interned():
     assert clone is full
 
 
+def test_egraph_pickles_through_compact_core_state():
+    """The flat core ships only its arrays + intern tables (``__reduce__``);
+    the hashcons, per-op index and parent sets are derived on load.  The
+    revived graph must be behaviorally identical: same counts, same
+    partition, same invariants — and still *live* (adding a known node
+    hits the rebuilt hashcons instead of growing the graph)."""
+    from repro.egraph import EGraph
+
+    g = EGraph()
+    a = g.add_node(ops.VAR, ("a", 8))
+    b = g.add_node(ops.VAR, ("b", 8))
+    add = g.add_node(ops.ADD, (), (a, b))
+    shl = g.add_node(ops.SHL, (), (a, g.add_node(ops.CONST, (1,))))
+    g.union(add, shl)
+    g.rebuild()
+
+    clone = pickle.loads(pickle.dumps(g))
+    assert clone.class_count == g.class_count
+    assert clone.node_count == g.node_count
+    assert clone.find(add) == clone.find(shl)
+    assert clone.find(a) != clone.find(b)
+    clone.check_invariants()
+    # The rebuilt hashcons dedups: re-adding an existing node is a no-op.
+    before = clone.node_count
+    assert clone.find(clone.add_node(ops.ADD, (), (a, b))) == clone.find(add)
+    assert clone.node_count == before
+    # And the revived graph keeps evolving independently of the original.
+    clone.add_node(ops.NEG, (), (a,))
+    assert clone.node_count == before + 1
+    assert g.node_count == before
+
+
 def test_expr_hash_cache_does_not_cross_processes():
     """Str hashing is per-process randomized; a pickled Expr must rehash."""
     expr = var("x", 8) + 1
