@@ -1,0 +1,96 @@
+"""Service smoke: daemon up, same design twice, second must be a cache hit.
+
+Drives the real CLI daemon (``python -m repro serve``) over its AF_UNIX
+socket, exactly as CI's ``service-smoke`` job does:
+
+1. serve with a small budget and an on-disk cache file;
+2. submit the same registry design twice (different job names / tenants —
+   the cache is content-addressed, names don't matter);
+3. assert the second submission came from the cache and its
+   submit-to-record wall is at least 10x faster than the first;
+4. graceful shutdown, then check the cache file was persisted.
+
+Run: ``PYTHONPATH=src python examples/service_smoke.py``
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.pipeline import Job
+from repro.service import job_to_dict, request, wait_for_result
+
+SPEEDUP_FLOOR = 10.0
+
+
+def submit_and_time(sock: Path, tenant: str, job: Job) -> tuple[float, object]:
+    started = time.monotonic()
+    reply = request(
+        sock, {"op": "submit", "tenant": tenant, "job": job_to_dict(job)}
+    )
+    assert reply["ok"], reply
+    record = wait_for_result(sock, reply["ticket"], timeout=120.0, poll_s=0.01)
+    return time.monotonic() - started, record
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-service-smoke-"))
+    sock = workdir / "repro.sock"
+    cache_file = workdir / "cache.json"
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", str(sock),
+            "--tenants", "ci-a,ci-b",
+            "--cache-file", str(cache_file),
+            "--budget-ms", "60000",
+        ],
+    )
+    try:
+        for _ in range(200):
+            try:
+                request(sock, {"op": "ping"}, timeout=1.0)
+                break
+            except (FileNotFoundError, ConnectionError, OSError):
+                time.sleep(0.05)
+        else:
+            raise RuntimeError("daemon did not come up")
+
+        job = dict(design="fp_sub", iter_limit=8, node_limit=30_000, verify=True)
+        fresh_wall, fresh = submit_and_time(
+            sock, "ci-a", Job(name="smoke-first", **job)
+        )
+        assert fresh.status == "ok", fresh.error
+        assert not fresh.cache_hit
+
+        hit_wall, hit = submit_and_time(
+            sock, "ci-b", Job(name="smoke-second", **job)
+        )
+        assert hit.status == "ok", hit.error
+        assert hit.cache_hit, "second submission should be a cache hit"
+        speedup = fresh_wall / max(hit_wall, 1e-9)
+        print(
+            f"fresh {fresh_wall:.3f}s, cached {hit_wall:.3f}s "
+            f"-> {speedup:.1f}x"
+        )
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"cache hit only {speedup:.1f}x faster (< {SPEEDUP_FLOOR:.0f}x)"
+        )
+
+        shutdown = request(sock, {"op": "shutdown"}, timeout=60.0)
+        assert shutdown["ok"] and shutdown["persisted"] >= 1, shutdown
+        server.wait(timeout=30)
+        assert cache_file.exists(), "cache file was not persisted"
+        print("service smoke OK")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.terminate()
+            server.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

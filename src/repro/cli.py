@@ -21,6 +21,17 @@ Subcommands (on the composable pipeline API):
     Saturate one registry design once, then re-extract under a range of
     delay/area objective weights (the Figure 3 trade-off curve).
 
+``serve`` / ``submit`` / ``status``
+    The optimization service (:mod:`repro.service`): ``serve`` runs the
+    multi-tenant daemon on an AF_UNIX socket with a content-addressed
+    result cache; ``submit`` enqueues a registry design for a tenant (and
+    can wait for the record); ``status`` polls the event feed, the cache
+    and fair-share ledgers, and can ask for a graceful shutdown::
+
+        python -m repro serve /tmp/repro.sock --tenants team-a,team-b:2 &
+        python -m repro submit /tmp/repro.sock lzc_example --tenant team-a --wait
+        python -m repro status /tmp/repro.sock --stats
+
 Bare legacy invocations (``python -m repro design.v ...``) map to
 ``optimize`` unchanged.
 """
@@ -81,11 +92,15 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
         "(default: ungoverned — only the per-stage limits apply)",
     )
     parser.add_argument(
-        "--budget-policy", choices=("fair", "weighted", "adaptive"),
+        "--budget-policy",
+        choices=("fair", "weighted", "adaptive", "verify-aware"),
         default="adaptive",
         help="how a shared budget splits across shards/jobs: equal shares, "
-        "proportional to cone size, or adaptive (unspent budget from fast "
-        "shards flows to slow ones; default: adaptive)",
+        "proportional to cone size, adaptive (unspent budget from fast "
+        "shards flows to slow ones), or verify-aware (adaptive plus a "
+        "reserved tail slice of the wall for the Verify stage, so "
+        "saturate-heavy runs cannot push verification into timeout "
+        "degradation; default: adaptive)",
     )
     parser.add_argument(
         "--verify-budget-ms", type=float, default=None, metavar="MS",
@@ -163,6 +178,66 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--area-weights", default="0,0.002,0.005,0.01,0.02,0.05,0.1",
         metavar="W,W,...", help="area weights (delay weight fixed at 1)",
+    )
+
+    serve = sub.add_parser("serve", help="run the multi-tenant service daemon")
+    serve.add_argument("socket", help="AF_UNIX socket path to listen on")
+    serve.add_argument(
+        "--tenants", default="default", metavar="NAME[:W],...",
+        help="tenant roster with optional fair-share weights "
+        "(default: one tenant named 'default')",
+    )
+    serve.add_argument(
+        "--cache-file", default=None, metavar="FILE",
+        help="persist the result cache here on shutdown (and reload on start)",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=128, metavar="N",
+        help="in-memory cache capacity (default: 128)",
+    )
+    serve.add_argument(
+        "--parallel", action="store_true",
+        help="dispatch each fair round over a process pool",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, help="process pool size"
+    )
+    _add_budget_arguments(serve)
+
+    submit = sub.add_parser("submit", help="submit a registry design to a daemon")
+    submit.add_argument("socket", help="daemon socket path")
+    submit.add_argument("design", help="registry design name")
+    submit.add_argument("--tenant", default="default", help="submitting tenant")
+    submit.add_argument("--name", default=None, help="job name (default: design)")
+    submit.add_argument("--iters", type=int, default=None, help="override iterations")
+    submit.add_argument("--nodes", type=int, default=None, help="override node limit")
+    submit.add_argument(
+        "--time-limit", type=float, default=60.0, metavar="SECONDS",
+        help="saturation wall-clock ceiling",
+    )
+    submit.add_argument("--verify", action="store_true", help="equivalence-check")
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its RunRecord JSON",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="how long --wait polls before giving up (default: 300)",
+    )
+
+    status = sub.add_parser("status", help="poll a daemon's event feed")
+    status.add_argument("socket", help="daemon socket path")
+    status.add_argument(
+        "--cursor", type=int, default=0,
+        help="event-feed poll cursor from a previous status call",
+    )
+    status.add_argument(
+        "--stats", action="store_true",
+        help="print cache counters and per-tenant fair-share ledgers",
+    )
+    status.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the daemon to drain its backlog, persist the cache, exit",
     )
     return parser
 
@@ -347,11 +422,129 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenants(text: str):
+    from repro.service import TenantShare
+
+    shares = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if ":" in chunk:
+            name, weight = chunk.rsplit(":", 1)
+            shares.append(TenantShare(name.strip(), float(weight)))
+        else:
+            shares.append(TenantShare(chunk))
+    if not shares:
+        raise SystemExit("--tenants needs at least one tenant name")
+    return shares
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.pipeline import Budget
+    from repro.service import (
+        OptimizationDaemon,
+        OptimizationQueue,
+        ResultCache,
+    )
+
+    queue = OptimizationQueue(
+        _parse_tenants(args.tenants),
+        budget=(
+            Budget.of_ms(args.budget_ms) if args.budget_ms is not None else None
+        ),
+        budget_policy=args.budget_policy,
+        cache=ResultCache(capacity=args.cache_entries, path=args.cache_file),
+        parallel=args.parallel,
+        max_workers=args.workers,
+    )
+    daemon = OptimizationDaemon(args.socket, queue)
+    print(f"serving on {args.socket}", file=sys.stderr)
+    daemon.serve_forever()
+    summary = daemon.shutdown_summary
+    print(
+        f"shut down: drained {summary.get('drained', 0)} job(s), "
+        f"persisted {summary.get('persisted', 0)} cache entr(ies)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.pipeline import Job
+    from repro.service import job_to_dict, request, wait_for_result
+
+    job = Job(
+        name=args.name or args.design,
+        design=args.design,
+        iter_limit=args.iters,
+        node_limit=args.nodes,
+        time_limit=args.time_limit,
+        verify=args.verify,
+    )
+    reply = request(
+        args.socket,
+        {"op": "submit", "tenant": args.tenant, "job": job_to_dict(job)},
+    )
+    if not reply.get("ok"):
+        print(f"submit failed: {reply.get('error')}", file=sys.stderr)
+        return 1
+    ticket = reply["ticket"]
+    print(f"ticket {ticket}: {reply['job']} queued", file=sys.stderr)
+    if not args.wait:
+        return 0
+    record = wait_for_result(args.socket, ticket, timeout=args.timeout)
+    print(record.to_json())
+    return 0 if record.status == "ok" else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import request
+
+    if args.shutdown:
+        reply = request(args.socket, {"op": "shutdown"})
+        if not reply.get("ok"):
+            print(f"shutdown failed: {reply.get('error')}", file=sys.stderr)
+            return 1
+        print(
+            f"drained {reply['drained']} job(s), "
+            f"persisted {reply['persisted']} cache entr(ies)"
+        )
+        return 0
+    if args.stats:
+        reply = request(args.socket, {"op": "stats"})
+        if not reply.get("ok"):
+            print(f"stats failed: {reply.get('error')}", file=sys.stderr)
+            return 1
+        print(json.dumps({k: reply[k] for k in ("cache", "ledger")}, indent=2))
+        return 0
+    reply = request(args.socket, {"op": "status", "cursor": args.cursor})
+    if not reply.get("ok"):
+        print(f"status failed: {reply.get('error')}", file=sys.stderr)
+        return 1
+    for sub in reply["submissions"]:
+        print(
+            f"#{sub['ticket']} {sub['job']} ({sub['tenant']}): {sub['status']}"
+        )
+    for event in reply["events"]:
+        stage = f" {event['stage']}" if event["stage"] else ""
+        detail = f" [{event['detail']}]" if event["detail"] else ""
+        print(
+            f"  {event['job']}: {event['kind']}{stage} "
+            f"({event['wall_s']:.3f}s){detail}"
+        )
+    print(f"cursor {reply['cursor']}", file=sys.stderr)
+    return 0
+
+
 _DISPATCH = {
     "optimize": _cmd_optimize,
     "bench": _cmd_bench,
     "report": _cmd_report,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
 }
 
 #: Derived, so the legacy-alias check in ``main`` can never drift from the

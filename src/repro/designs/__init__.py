@@ -22,13 +22,20 @@ from repro.designs.conversions import (
 )
 from repro.designs.interpolation import interpolation_verilog
 from repro.designs.lzc_example import lzc_example_input_ranges, lzc_example_verilog
-from repro.designs.registry import Design, DESIGNS, design_names, get_design
+from repro.designs.registry import (
+    DESIGNS,
+    Design,
+    design_names,
+    design_roots,
+    get_design,
+)
 from repro.designs.stress import stress_wide_input_ranges, stress_wide_verilog
 
 __all__ = [
     "Design",
     "DESIGNS",
     "design_names",
+    "design_roots",
     "get_design",
     "fp_sub_behavioural_verilog",
     "fp_sub_behavioural_ir",

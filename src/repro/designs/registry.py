@@ -98,3 +98,24 @@ def get_design(name: str) -> Design:
 def design_names() -> list[str]:
     """All registry design names, sorted (drives batch sessions / the CLI)."""
     return sorted(DESIGNS)
+
+
+#: Elaborated-roots memo for :func:`design_roots` (keyed by design name).
+_ROOTS_CACHE: dict[str, dict] = {}
+
+
+def design_roots(name: str) -> dict:
+    """The design's elaborated IR roots (output name → ``Expr``), memoized.
+
+    The service's content-addressed cache keys on the *structure* of a
+    design rather than its name, which means hashing the elaborated DAG on
+    every submission; parsing the Verilog once per design (rather than once
+    per job) keeps that cheap.  Callers must treat the returned mapping and
+    its trees as immutable (``Expr`` already is).
+    """
+    roots = _ROOTS_CACHE.get(name)
+    if roots is None:
+        from repro.rtl import module_to_ir
+
+        roots = _ROOTS_CACHE[name] = module_to_ir(get_design(name).verilog)
+    return roots

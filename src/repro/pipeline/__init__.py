@@ -30,6 +30,7 @@ from repro.pipeline.budget import (
     BudgetPool,
     FairSplit,
     ResourceGovernor,
+    VerifyAwareSplit,
     WeightedSplit,
     allocator_for,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "FairSplit",
     "WeightedSplit",
     "AdaptiveSplit",
+    "VerifyAwareSplit",
     "ALLOCATORS",
     "allocator_for",
     "ResourceGovernor",

@@ -244,8 +244,30 @@ class AdaptiveSplit(WeightedSplit):
     adaptive = True
 
 
+class VerifyAwareSplit(AdaptiveSplit):
+    """Adaptive allocation that reserves a tail slice of the wall for
+    verification.
+
+    A saturate-heavy run under one shared deadline historically drained the
+    whole pool before ``Verify`` started, pushing every equivalence check
+    into ``method="timeout"`` degradation — a ``Budget.bdd_nodes`` quota is
+    dead capital without wall time left to spend it in.  Under this policy
+    the :class:`ResourceGovernor` holds back ``verify_tail`` of the wall
+    window from search-side stages (``Saturate``, ``Extract``, shard
+    fan-outs all see a *work deadline*), while ``Verify`` races the full
+    deadline — so the BDD quota is actually reachable.  Quota splitting
+    across children is inherited from :class:`AdaptiveSplit` (children
+    still never collectively overspend the parent, componentwise).
+    """
+
+    name = "verify-aware"
+    #: Fraction of the wall window reserved for the Verify stage.
+    verify_tail = 0.25
+
+
 ALLOCATORS: dict[str, BudgetAllocator] = {
-    policy.name: policy for policy in (FairSplit(), WeightedSplit(), AdaptiveSplit())
+    policy.name: policy
+    for policy in (FairSplit(), WeightedSplit(), AdaptiveSplit(), VerifyAwareSplit())
 }
 
 
@@ -419,6 +441,17 @@ class ResourceGovernor:
         self.policy = policy
         self.started = self.clock()
         self.deadline = budget.deadline_at(self.started)
+        #: Fraction of the wall window held back from search-side stages
+        #: (nonzero only under a verify-aware policy).
+        self.verify_tail = getattr(ALLOCATORS.get(policy), "verify_tail", 0.0)
+        if math.isinf(self.deadline) or self.verify_tail <= 0.0:
+            self.work_deadline = self.deadline
+        else:
+            # Saturate/Extract/shard fan-outs stop here; Verify races the
+            # full deadline, so the reserved tail is verification's alone.
+            self.work_deadline = self.started + (
+                (self.deadline - self.started) * (1.0 - self.verify_tail)
+            )
         self.spent_nodes = 0
         self.spent_iters = 0
         self.spent_matches = 0
@@ -431,14 +464,16 @@ class ResourceGovernor:
         return self.clock() - self.started
 
     def remaining(self) -> Budget:
-        """The unspent pool as a child budget.
+        """The unspent pool as a child budget (the search-side view).
 
         Time comes back as the governor's *absolute* deadline (never a fresh
         relative span), so however many stages draw from the pool they all
-        race one clock.
+        race one clock.  Under a verify-aware policy this is the *work*
+        deadline — the reserved tail is only reachable through
+        :attr:`deadline` itself, which ``Verify`` races directly.
         """
         return Budget(
-            deadline=None if math.isinf(self.deadline) else self.deadline,
+            deadline=None if math.isinf(self.work_deadline) else self.work_deadline,
             nodes=self._left(self.budget.nodes, self.spent_nodes),
             iters=self._left(self.budget.iters, self.spent_iters),
             matches=self._left(self.budget.matches, self.spent_matches),

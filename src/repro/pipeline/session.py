@@ -123,6 +123,14 @@ class RunRecord:
     #: How the condensed output's equivalence was established:
     #: "exhaustive" | "bdd" | "random" | "timeout" (empty when unverified).
     verify_method: str = ""
+    #: Service provenance: which tenant submitted the job ("" for direct
+    #: Session runs), whether the record came out of the result cache
+    #: instead of a fresh pipeline run, and how long the job sat queued
+    #: before dispatch.  Absent from pre-service records — ``from_dict``
+    #: defaults them, so old ``BENCH_perf.json`` entries still load.
+    tenant: str = ""
+    cache_hit: bool = False
+    queue_wait_s: float = 0.0
     error: str | None = None
 
     # -------------------------------------------------------- serialization

@@ -288,8 +288,11 @@ class Extract:
         clock = governor.clock if governor is not None else time.monotonic
         started = clock()
         deadline = None
-        if governor is not None and not math.isinf(governor.deadline):
-            deadline = governor.deadline
+        if governor is not None and not math.isinf(governor.work_deadline):
+            # The *work* deadline: under a verify-aware policy the governor
+            # reserves a tail slice of the wall for Verify, and an anytime
+            # extraction must not eat into it.
+            deadline = governor.work_deadline
         extractor: Extractor | None = None
         root_status: dict[str, str] = {}
         try:

@@ -87,6 +87,14 @@ def ruleset(name: str) -> list[Rewrite]:
     return RULESETS[name]()
 
 
+#: Composition cache: (split_threshold, enable_assume, enable_condition) →
+#: rule list.  Safe because :class:`Rewrite` objects are stateless (the
+#: runner tracks once-rule firing per run, not on the rule), so one shared
+#: rule object can serve any number of concurrent jobs — which is exactly
+#: what the service daemon does, rebuilding nothing per submission.
+_COMPOSE_CACHE: dict[tuple[int | None, bool, bool], tuple[Rewrite, ...]] = {}
+
+
 def compose_rules(
     split_threshold: int | None = 1,
     enable_assume: bool = True,
@@ -98,16 +106,23 @@ def compose_rules(
     OptimizerConfig` runs (the ablation switches drop whole rulesets rather
     than filtering rules by name prefix); phased schedules compose the same
     rulesets across several ``Saturate`` stages instead.
+
+    Compositions are memoized per parameter triple; callers get a fresh
+    list each time (mutate freely) over shared, stateless rule objects.
     """
-    rules = structural_ruleset()
-    if enable_assume:
-        rules += assume_ruleset()
-    if enable_condition:
-        rules += condition_ruleset()
-    rules += narrowing_ruleset()
-    if split_threshold is not None:
-        rules += casesplit_ruleset(split_threshold)
-    return rules
+    key = (split_threshold, enable_assume, enable_condition)
+    cached = _COMPOSE_CACHE.get(key)
+    if cached is None:
+        rules = structural_ruleset()
+        if enable_assume:
+            rules += assume_ruleset()
+        if enable_condition:
+            rules += condition_ruleset()
+        rules += narrowing_ruleset()
+        if split_threshold is not None:
+            rules += casesplit_ruleset(split_threshold)
+        cached = _COMPOSE_CACHE[key] = tuple(rules)
+    return list(cached)
 
 
 def all_rules(split_threshold: int | None = 1) -> list[Rewrite]:

@@ -1,0 +1,54 @@
+"""Optimization-as-a-service: a persistent layer over batch sessions.
+
+The paper's tool is a batch program: build the e-graph, optimize, exit.
+Deployed datapath optimization looks different — a long-lived daemon that
+many tenants submit designs to, where most submissions are resubmissions
+(the same block re-optimized after an unrelated RTL edit) and wall-clock
+budgets are a shared resource.  This package adds that layer without
+touching the pipeline itself:
+
+- :mod:`repro.service.cache` — content-addressed result cache keyed on the
+  *structure* of a design (alpha- and commutativity-invariant DAG digest),
+  its schedule knobs and budget class.
+- :mod:`repro.service.events` — per-job event feed (queued → running
+  stages → done/error) reconstructed from the governor's ledger.
+- :mod:`repro.service.queue` — multi-tenant fair-share job queue draining
+  onto the existing :class:`~repro.pipeline.session.Session` machinery.
+- :mod:`repro.service.daemon` — AF_UNIX socket daemon + client speaking
+  newline-delimited JSON with :class:`~repro.pipeline.session.RunRecord`
+  as the wire format (the ``serve``/``submit``/``status`` CLI verbs).
+"""
+
+from repro.service.cache import (
+    ResultCache,
+    budget_class,
+    canonical_digest,
+    job_cache_key,
+)
+from repro.service.daemon import (
+    OptimizationDaemon,
+    job_from_dict,
+    job_to_dict,
+    request,
+    wait_for_result,
+)
+from repro.service.events import Event, EventFeed, events_from_record
+from repro.service.queue import OptimizationQueue, Submission, TenantShare
+
+__all__ = [
+    "OptimizationDaemon",
+    "job_to_dict",
+    "job_from_dict",
+    "request",
+    "wait_for_result",
+    "ResultCache",
+    "budget_class",
+    "canonical_digest",
+    "job_cache_key",
+    "Event",
+    "EventFeed",
+    "events_from_record",
+    "OptimizationQueue",
+    "Submission",
+    "TenantShare",
+]

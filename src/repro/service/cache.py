@@ -1,0 +1,273 @@
+"""Content-addressed result cache for the optimization service.
+
+Two submissions that describe the *same optimization problem* should pay
+for one pipeline run.  "Same problem" is structural, not nominal: the
+design's elaborated :class:`~repro.ir.expr.Expr` DAG is canonicalized so
+that alpha-renaming the inputs or reordering the children of commutative
+operators does not change the key, while any semantic difference (widths,
+constants, operator structure, input-range constraints, schedule knobs,
+budget class) does.
+
+Canonicalization assigns variables alpha ids greedily: at each step the
+unassigned variable whose tentative assignment minimizes the whole-DAG
+digest gets the next id.  Digests are computed bottom-up over the shared
+DAG with commutative children sorted by digest, so the comparison is
+structure-only — two candidates tie exactly when they are symmetric under
+the partial assignment, in which case either choice yields the same final
+form.  The id assignment is a bijection, so equal keys mean the DAGs agree
+up to input renaming and commutative reordering (up to SHA-256 collision).
+
+The cache itself is two-tier: a bounded in-memory LRU in front of an
+optional on-disk JSON file the daemon persists on shutdown and reloads on
+start.  Only ``status == "ok"`` records are admitted — errors always rerun.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import replace
+from pathlib import Path
+from typing import Mapping
+
+from repro.designs.registry import design_roots, get_design
+from repro.intervals import IntervalSet
+from repro.ir import ops
+from repro.ir.expr import Expr, subterms
+from repro.pipeline.budget import Budget
+from repro.pipeline.session import Job, RunRecord
+
+__all__ = [
+    "canonical_digest",
+    "budget_class",
+    "job_cache_key",
+    "ResultCache",
+]
+
+
+def _digest(*parts: object) -> str:
+    """SHA-256 over a deterministic rendering of the parts."""
+    payload = repr(parts).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _dag_digests(
+    roots: tuple[Expr, ...],
+    var_ids: Mapping[Expr, int],
+    var_ranges: Mapping[str, tuple],
+) -> list[str]:
+    """Bottom-up digest per root under a (possibly partial) var assignment.
+
+    VAR nodes drop their name: assigned variables render as their alpha id,
+    unassigned ones as an anonymous ``?``.  Width and any input-range
+    constraint stay part of the leaf (so the greedy assignment sees them —
+    a constrained input is never symmetric with an unconstrained one).
+    Children of commutative operators contribute as a sorted multiset of
+    digests.
+    """
+    memo: dict[Expr, str] = {}
+
+    def rec(node: Expr) -> str:
+        found = memo.get(node)
+        if found is not None:
+            return found
+        if node.op is ops.VAR:
+            ident = var_ids.get(node)
+            tag = ("?",) if ident is None else ("v", ident)
+            result = _digest(
+                "var",
+                node.var_width,
+                var_ranges.get(node.var_name, ()),
+                tag,
+            )
+        else:
+            kids = [rec(child) for child in node.children]
+            if node.op in ops.COMMUTATIVE:
+                kids.sort()
+            result = _digest(node.op.name, node.attrs, tuple(kids))
+        memo[node] = result
+        return result
+
+    return [rec(root) for root in roots]
+
+
+def canonical_digest(
+    roots: Expr | Mapping[str, Expr],
+    input_ranges: Mapping[str, IntervalSet] | None = None,
+) -> str:
+    """Alpha- and commutativity-invariant digest of an ``Expr`` DAG.
+
+    ``roots`` is one expression or a mapping of output name → expression;
+    output names are interface labels, not structure, so multi-output
+    designs hash the sorted multiset of per-root canonical forms.
+    ``input_ranges`` constraints (keyed by source variable name) travel
+    with their variable's leaf — a constraint on ``x`` follows ``x``
+    through the renaming, so constraining ``x`` or ``y`` of a symmetric
+    ``x + y`` yields the same key.
+    """
+    root_tuple = (
+        (roots,) if isinstance(roots, Expr) else tuple(roots[k] for k in sorted(roots))
+    )
+    variables = sorted(
+        (node for node in subterms(root_tuple) if node.is_var),
+        key=lambda node: (node.var_width, node.var_name),
+    )
+    var_ranges = {
+        name: tuple((part.lo, part.hi) for part in iset.parts)
+        for name, iset in (input_ranges or {}).items()
+    }
+
+    def combined(assignment: Mapping[Expr, int]) -> str:
+        return _digest(
+            tuple(sorted(_dag_digests(root_tuple, assignment, var_ranges)))
+        )
+
+    var_ids: dict[Expr, int] = {}
+    for next_id in range(len(variables)):
+        best_node = best_key = None
+        for node in variables:
+            if node in var_ids:
+                continue
+            candidate = combined({**var_ids, node: next_id})
+            # Ties mean the candidates are symmetric under the current
+            # partial assignment; the name-ordered scan picks the first.
+            if best_key is None or candidate < best_key:
+                best_node, best_key = node, candidate
+        var_ids[best_node] = next_id
+    return combined(var_ids)
+
+
+def budget_class(budget: Budget | None) -> str:
+    """Coarse resource class a submission ran under.
+
+    Quota fields define the class; the absolute ``deadline`` is an artifact
+    of *when* a run happened and is excluded — two runs given the same
+    ``time_s`` wall are the same class regardless of start time.
+    """
+    if budget is None:
+        return "unbudgeted"
+    return _digest(
+        budget.time_s,
+        budget.nodes,
+        budget.iters,
+        budget.matches,
+        budget.bdd_nodes,
+    )
+
+
+#: Job fields that select *what gets computed* (anything that can change
+#: the record's payload).  ``name`` is a label and ``design`` is replaced
+#: by the structural digest; ``budget`` is classed separately.
+_SCHEDULE_FIELDS = (
+    "iter_limit",
+    "node_limit",
+    "time_limit",
+    "split_threshold",
+    "enable_assume",
+    "enable_condition",
+    "verify",
+    "phases",
+    "phase_iters",
+    "shards",
+    "auto_shard_nodes",
+    "budget_policy",
+)
+
+
+def job_cache_key(job: Job) -> str:
+    """Content address of a job: design structure + schedule + budget class.
+
+    The design contributes through :func:`canonical_digest` of its
+    elaborated roots (memoized in the registry), so registry aliases of the
+    same structure — or a renamed copy of an existing design — share cache
+    entries.
+    """
+    design = get_design(job.design)
+    structure = canonical_digest(design_roots(job.design), design.input_ranges)
+    schedule = tuple(getattr(job, name) for name in _SCHEDULE_FIELDS)
+    classes = (budget_class(job.budget), budget_class(job.verify_budget))
+    return _digest(structure, schedule, classes)
+
+
+class ResultCache:
+    """Two-tier content-addressed store of ``status == "ok"`` records.
+
+    The memory tier is a bounded LRU; the optional disk tier is one JSON
+    file (key → record dict) written by :meth:`persist` and read by
+    :meth:`load`.  ``get`` promotes disk hits into memory and returns a
+    *copy* of the stored record with ``cache_hit=True`` — the stored entry
+    itself stays exactly as the original run produced it.
+    """
+
+    def __init__(self, capacity: int = 128, path: str | Path | None = None):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.path = Path(path) if path is not None else None
+        self._memory: OrderedDict[str, RunRecord] = OrderedDict()
+        self._disk: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        keys = set(self._memory)
+        keys.update(self._disk)
+        return len(keys)
+
+    # ---------------------------------------------------------------- tiers
+    def get(self, key: str) -> RunRecord | None:
+        record = self._memory.get(key)
+        if record is None and key in self._disk:
+            record = RunRecord.from_dict(self._disk[key])
+            self._remember(key, record)
+        if record is None:
+            self.misses += 1
+            return None
+        self._memory.move_to_end(key)
+        self.hits += 1
+        # Deep copy through JSON so callers can't mutate the stored entry.
+        return replace(RunRecord.from_json(record.to_json()), cache_hit=True)
+
+    def put(self, key: str, record: RunRecord) -> bool:
+        """Admit a record; returns False (and stores nothing) on errors."""
+        if record.status != "ok":
+            return False
+        self._remember(key, record)
+        if self.path is not None:
+            self._disk[key] = record.as_dict()
+        return True
+
+    def _remember(self, key: str, record: RunRecord) -> None:
+        self._memory[key] = record
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    # ----------------------------------------------------------- disk tier
+    def load(self) -> int:
+        """Read the disk tier (if any); returns the number of entries."""
+        if self.path is None or not self.path.exists():
+            return 0
+        self._disk = json.loads(self.path.read_text())
+        return len(self._disk)
+
+    def persist(self) -> int:
+        """Write the disk tier; returns the number of entries written."""
+        if self.path is None:
+            return 0
+        for key, record in self._memory.items():
+            self._disk.setdefault(key, record.as_dict())
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(self._disk, sort_keys=True))
+        return len(self._disk)
+
+    # ------------------------------------------------------------ telemetry
+    def stats(self) -> dict:
+        return {
+            "entries": len(self),
+            "memory_entries": len(self._memory),
+            "disk_entries": len(self._disk),
+            "hits": self.hits,
+            "misses": self.misses,
+        }

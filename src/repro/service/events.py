@@ -1,0 +1,151 @@
+"""Per-job event feeds: the governor's ledger as a stream.
+
+A tenant that submitted a job wants to watch it move — queued, running
+(which stage, what spend), done or error — without holding a reference to
+the daemon's internals.  :class:`EventFeed` is the pollable/iterable buffer
+the queue emits into; :func:`events_from_record` reconstructs the running
+timeline of a finished job from its :class:`~repro.pipeline.session.
+RunRecord` (per-stage wall timings plus the governor's allocated-vs-spent
+ledger), so the feed covers the job's whole wall without instrumenting the
+pipeline stages themselves.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass, field
+from typing import Iterator
+
+from repro.pipeline.session import RunRecord
+
+__all__ = ["Event", "EventFeed", "events_from_record"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One step of a job's service lifecycle."""
+
+    job: str
+    tenant: str
+    #: "queued" | "running" | "cached" | "done" | "error"
+    kind: str
+    #: Stage label for ``running`` events (e.g. ``"saturate"``).
+    stage: str = ""
+    #: Wall seconds this step covered: queue wait for ``queued``, the
+    #: stage's wall for ``running``, the job's whole wall for terminals.
+    wall_s: float = 0.0
+    #: Governor spend for the step, when the ledger recorded any.
+    spend: dict = field(default_factory=dict)
+    #: Stop reason / error text / "cache" provenance for terminals.
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def events_from_record(record: RunRecord) -> list[Event]:
+    """Replay a finished job's lifecycle from its run record.
+
+    Cache hits replay as ``queued → cached → done`` — the stage timings a
+    copied record carries belong to the *original* run, so replaying them
+    would fabricate work the service never did.
+    """
+    events = [
+        Event(
+            job=record.job,
+            tenant=record.tenant,
+            kind="queued",
+            wall_s=record.queue_wait_s,
+        )
+    ]
+    if record.cache_hit:
+        events.append(
+            Event(job=record.job, tenant=record.tenant, kind="cached")
+        )
+    else:
+        ledger = record.budget.get("stages", {}) if record.budget else {}
+        for stage, wall in record.stage_timings.items():
+            if "/" in stage:
+                # Shard-internal breakdown nests *inside* the shard stage's
+                # wall; replaying it too would double-count the window.
+                continue
+            entry = ledger.get(stage)
+            events.append(
+                Event(
+                    job=record.job,
+                    tenant=record.tenant,
+                    kind="running",
+                    stage=stage,
+                    wall_s=wall,
+                    spend=dict(entry["spent"]) if entry else {},
+                )
+            )
+    terminal = "done" if record.status == "ok" else "error"
+    detail = "cache" if record.cache_hit else (record.error or record.stop_reason)
+    events.append(
+        Event(
+            job=record.job,
+            tenant=record.tenant,
+            kind=terminal,
+            wall_s=record.runtime_s,
+            detail=detail,
+        )
+    )
+    return events
+
+
+class EventFeed:
+    """Append-only, thread-safe event buffer with poll cursors.
+
+    ``poll(cursor)`` returns everything emitted since the cursor plus the
+    new cursor — the daemon's ``status`` verb is one poll.  Iteration
+    snapshots the buffer (safe while emitters keep appending).
+    """
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+        self._lock = threading.Lock()
+
+    def emit(self, event: Event) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def extend(self, events: list[Event]) -> None:
+        with self._lock:
+            self._events.extend(events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        with self._lock:
+            snapshot = list(self._events)
+        return iter(snapshot)
+
+    def poll(self, cursor: int = 0) -> tuple[int, list[Event]]:
+        """Events appended since ``cursor``, plus the advanced cursor."""
+        with self._lock:
+            fresh = self._events[cursor:]
+            return len(self._events), fresh
+
+    def for_job(self, job: str) -> list[Event]:
+        return [event for event in self if event.job == job]
+
+    def coverage(self, job: str) -> float:
+        """Fraction of the job's wall its ``running`` events account for.
+
+        1.0 means the feed explains the whole wall; the service-level
+        acceptance bar is >= 0.95.  Jobs with no terminal event (still
+        running) or zero wall report 0.0 / 1.0 respectively.
+        """
+        events = self.for_job(job)
+        total = next(
+            (e.wall_s for e in events if e.kind in ("done", "error")), None
+        )
+        if total is None:
+            return 0.0
+        if total == 0.0 or any(e.kind == "cached" for e in events):
+            return 1.0
+        covered = sum(e.wall_s for e in events if e.kind == "running")
+        return min(1.0, covered / total)

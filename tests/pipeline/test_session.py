@@ -1,6 +1,7 @@
 """Batch sessions over the registry and the RunRecord trajectory format."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -206,6 +207,42 @@ class TestRunRecordSerialization:
             {"job": "x", "design": "y", "legacy_field": 123}
         )
         assert record.job == "x" and record.design == "y"
+
+    def test_service_provenance_fields_roundtrip(self):
+        """``tenant``/``cache_hit``/``queue_wait_s`` survive JSON exactly."""
+        record = execute_job(Job(name="svc", design="lzc_example", **FAST))
+        record.tenant = "team-a"
+        record.cache_hit = True
+        record.queue_wait_s = 0.125
+        clone = RunRecord.from_json(record.to_json())
+        assert clone == record
+        assert (clone.tenant, clone.cache_hit, clone.queue_wait_s) == (
+            "team-a",
+            True,
+            0.125,
+        )
+        assert clone.to_json() == record.to_json()
+
+    def test_from_dict_defaults_service_fields_for_legacy_records(self):
+        """Pre-service trajectory rows keep loading (schema is additive)."""
+        record = RunRecord.from_dict({"job": "x", "design": "y"})
+        assert record.tenant == ""
+        assert record.cache_hit is False
+        assert record.queue_wait_s == 0.0
+
+    def test_bench_perf_entries_still_load(self):
+        """Every record in the checked-in perf trajectory parses."""
+        path = Path(__file__).resolve().parents[2] / "BENCH_perf.json"
+        if not path.exists():
+            pytest.skip("no BENCH_perf.json in this checkout")
+        payload = json.loads(path.read_text())
+        rows = payload["records"] if isinstance(payload, dict) else payload
+        assert rows
+        for row in rows:
+            record = RunRecord.from_dict(row)
+            assert record.design
+            # Old rows predate the service schema; defaults fill in.
+            assert record.cache_hit is False
 
     def test_add_builds_jobs(self):
         session = Session()

@@ -1,0 +1,135 @@
+"""The verify-aware allocator: a reserved wall tail for verification.
+
+The open governor lever this closes: under one shared deadline, a
+saturate-heavy run used to drain the whole pool before ``Verify`` started,
+so every equivalence check degraded to ``method="timeout"`` — a
+``Budget.bdd_nodes`` quota was dead capital with no wall time left to spend
+it in.  Under ``budget_policy="verify-aware"`` the governor holds back a
+tail slice of the wall from the search-side stages (``Saturate`` and the
+anytime ``Extract`` race a *work* deadline) while ``Verify`` races the full
+deadline.  Pinned with deterministic fake clocks: the same saturate-heavy
+job times its verification out under ``adaptive`` and completes it under
+``verify-aware``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.egraph import rewrite
+from repro.ir import var
+from repro.pipeline import (
+    ALLOCATORS,
+    Budget,
+    Extract,
+    Ingest,
+    Pipeline,
+    ResourceGovernor,
+    Saturate,
+    Verify,
+    VerifyAwareSplit,
+    allocator_for,
+)
+# Sibling-module import: pytest's prepend import mode puts this directory
+# on sys.path (same pattern as test_governed_extract_verify.py).
+from test_budget import FakeClock
+
+GROWING_RULES = [
+    rewrite("assoc", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"),
+    rewrite("comm", "(+ ?a ?b)", "(+ ?b ?a)"),
+]
+
+
+def _saturate_heavy_run(policy: str, clock: FakeClock, time_s: float):
+    """A job whose saturation never converges, then a cheap verification.
+
+    Six 1-bit inputs keep the equivalence check exhaustive (64 trials, one
+    clock read each), so whether it completes is decided purely by how much
+    of the wall window saturation was allowed to consume — while the
+    six-term chain keeps associativity/commutativity churning well past the
+    whole fake-clock window.
+    """
+    chain = var("x0", 1)
+    for i in range(1, 6):
+        chain = chain + var(f"x{i}", 1)
+    return Pipeline(
+        [
+            Ingest(roots={"out": chain}),
+            Saturate(
+                GROWING_RULES,
+                iter_limit=10**6,
+                node_limit=10**9,
+                time_limit=10**6,
+            ),
+            Extract(),
+            Verify(strict=True),
+        ]
+    ).run(budget=Budget(time_s=time_s), budget_policy=policy, clock=clock)
+
+
+class TestVerifyAwarePolicy:
+    def test_registered_and_adaptive(self):
+        allocator = allocator_for("verify-aware")
+        assert isinstance(allocator, VerifyAwareSplit)
+        assert allocator.adaptive
+        assert 0.0 < allocator.verify_tail < 1.0
+        assert "verify-aware" in ALLOCATORS
+
+    def test_governor_reserves_a_work_deadline(self):
+        clock = FakeClock(start=100.0)
+        governor = ResourceGovernor(
+            Budget(time_s=8.0), clock=clock, policy="verify-aware"
+        )
+        tail = allocator_for("verify-aware").verify_tail
+        assert governor.deadline == 100.0 + 8.0
+        assert governor.work_deadline == 100.0 + 8.0 * (1.0 - tail)
+        # The search-side view carries the work deadline...
+        assert governor.remaining().deadline == governor.work_deadline
+        # ...but exhaustion is judged against the true deadline.
+        clock.advance(8.0 * (1.0 - tail) + 0.001)
+        assert not governor.exhausted()
+
+    def test_other_policies_reserve_nothing(self):
+        for policy in ("fair", "weighted", "adaptive"):
+            governor = ResourceGovernor(
+                Budget(time_s=8.0), clock=FakeClock(), policy=policy
+            )
+            assert governor.verify_tail == 0.0
+            assert governor.work_deadline == governor.deadline
+
+    def test_unlimited_budget_keeps_infinite_deadlines(self):
+        governor = ResourceGovernor(
+            Budget.unlimited(), clock=FakeClock(), policy="verify-aware"
+        )
+        assert math.isinf(governor.deadline)
+        assert math.isinf(governor.work_deadline)
+        assert governor.remaining().deadline is None
+
+
+class TestSaturateHeavyDegradation:
+    """The satellite contract, both directions."""
+
+    def test_adaptive_policy_times_verification_out(self):
+        ctx = _saturate_heavy_run("adaptive", FakeClock(tick=0.01), 20.0)
+        verdict = ctx.equivalence["out"]
+        assert verdict.method == "timeout"
+        assert verdict.equivalent is None
+
+    def test_verify_aware_policy_completes_verification(self):
+        clock = FakeClock(tick=0.01)
+        ctx = _saturate_heavy_run("verify-aware", clock, 20.0)
+        verdict = ctx.equivalence["out"]
+        assert verdict.method == "exhaustive"
+        assert verdict.equivalent is True
+        # Saturation really was saturate-heavy: it ran out of work window
+        # rather than converging...
+        assert ctx.report.stop_reason.value == "time limit"
+        # ...and stopped at the *work* deadline, not the true deadline: its
+        # ledgered wall stays within the reserved split (plus the runner's
+        # documented one-application overshoot slack).
+        governor = ctx.governor
+        work_window = governor.work_deadline - governor.started
+        saturate_spent = governor.ledger["saturate"]["spent"]["time_s"]
+        assert saturate_spent <= work_window + 1.0
+        # Verify started before the true deadline and charged real spend.
+        assert governor.ledger["verify"]["spent"]["time_s"] > 0

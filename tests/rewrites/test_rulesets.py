@@ -1,0 +1,52 @@
+"""Ruleset composition: registry lookups and the composition memo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rewrites.rulesets import (
+    RULESETS,
+    all_rules,
+    compose_rules,
+    ruleset,
+)
+
+
+class TestRuleset:
+    def test_every_registered_name_resolves(self):
+        for name in RULESETS:
+            rules = ruleset(name)
+            assert rules, name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown ruleset"):
+            ruleset("nope")
+
+
+class TestComposeMemo:
+    """The daemon submits many jobs; rules must not be rebuilt per job."""
+
+    def test_same_parameters_share_rule_objects(self):
+        first = compose_rules()
+        second = compose_rules()
+        assert first is not second  # fresh list per call...
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert a is b  # ...over shared stateless rule objects
+
+    def test_caller_mutation_does_not_poison_the_cache(self):
+        mutated = compose_rules()
+        mutated.clear()
+        assert compose_rules()
+
+    def test_distinct_parameters_compose_distinct_lists(self):
+        full = compose_rules()
+        lean = compose_rules(split_threshold=None, enable_assume=False)
+        assert len(lean) < len(full)
+        names = {rule.name for rule in lean}
+        assert not any(name.startswith("assume-intro") for name in names)
+
+    def test_all_rules_is_the_default_composition(self):
+        assert [r.name for r in all_rules()] == [
+            r.name for r in compose_rules()
+        ]

@@ -1,0 +1,191 @@
+"""The content-addressed result cache: canonical keys and the two tiers.
+
+The canonicalization property the service leans on: a design resubmitted
+after an alpha-renaming of its inputs or a reordering of commutative
+operands is *the same problem* and must hit; any semantic change (a
+constant, a width, an operator, a range constraint) must miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import IntervalSet
+from repro.ir import ops, var
+from repro.ir.expr import Expr, const
+from repro.pipeline import Budget, Job, RunRecord, execute_job
+from repro.service import (
+    ResultCache,
+    budget_class,
+    canonical_digest,
+    job_cache_key,
+)
+
+FAST = dict(iter_limit=2, node_limit=8_000)
+
+NAMES = ("x", "y", "z", "w")
+
+_LEAVES = st.one_of(
+    st.sampled_from(NAMES).map(lambda n: var(n, 4)),
+    st.integers(0, 7).map(const),
+)
+
+_BINARY_OPS = (ops.ADD, ops.MUL, ops.SUB, ops.MIN, ops.MAX, ops.AND)
+
+
+def _branch(children):
+    return st.tuples(st.sampled_from(_BINARY_OPS), children, children).map(
+        lambda t: Expr(t[0], (), (t[1], t[2]))
+    )
+
+
+EXPRS = st.recursive(_LEAVES, _branch, max_leaves=12)
+
+PERMUTATIONS = st.permutations(NAMES)
+
+
+def _rename(expr: Expr, mapping: dict[str, str]) -> Expr:
+    if expr.is_var:
+        return var(mapping[expr.var_name], expr.var_width)
+    kids = tuple(_rename(child, mapping) for child in expr.children)
+    return Expr(expr.op, expr.attrs, kids)
+
+
+def _commute(expr: Expr, flip) -> Expr:
+    """Reorder commutative children by the draw stream ``flip``."""
+    kids = tuple(_commute(child, flip) for child in expr.children)
+    if expr.op in ops.COMMUTATIVE and len(kids) == 2 and flip():
+        kids = (kids[1], kids[0])
+    return Expr(expr.op, expr.attrs, kids)
+
+
+class TestCanonicalDigestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(expr=EXPRS, perm=PERMUTATIONS, flips=st.randoms(use_true_random=False))
+    def test_alpha_renaming_and_commuting_preserve_the_digest(
+        self, expr, perm, flips
+    ):
+        mapping = dict(zip(NAMES, perm))
+        twisted = _commute(_rename(expr, mapping), lambda: flips.random() < 0.5)
+        assert canonical_digest(expr) == canonical_digest(twisted)
+
+    @settings(max_examples=100, deadline=None)
+    @given(expr=EXPRS, perm=PERMUTATIONS)
+    def test_renaming_carries_range_constraints_along(self, expr, perm):
+        mapping = dict(zip(NAMES, perm))
+        ranges = {"x": IntervalSet.of(1, 5)}
+        renamed_ranges = {mapping["x"]: IntervalSet.of(1, 5)}
+        assert canonical_digest(expr, ranges) == canonical_digest(
+            _rename(expr, mapping), renamed_ranges
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(expr=EXPRS, delta=st.integers(1, 3))
+    def test_shifting_any_constant_changes_the_digest(self, expr, delta):
+        consts = [n for n in expr.walk() if n.is_const]
+        if not consts:
+            return
+
+        def bump(node: Expr) -> Expr:
+            if node is consts[0]:
+                return const(node.value + delta)
+            return Expr(
+                node.op, node.attrs, tuple(bump(c) for c in node.children)
+            )
+
+        assert canonical_digest(expr) != canonical_digest(bump(expr))
+
+    def test_distinct_occurrence_profiles_are_distinct(self):
+        x, y = var("x", 8), var("y", 8)
+        assert canonical_digest(x + x) != canonical_digest(x + y)
+        assert canonical_digest((x + y) + x) == canonical_digest((y + x) + x)
+
+    def test_widths_and_noncommutative_order_are_semantic(self):
+        assert canonical_digest(var("x", 8) + var("y", 8)) != canonical_digest(
+            var("x", 8) + var("y", 4)
+        )
+        x, y = var("x", 8), var("y", 8)
+        # x - y is alpha-equivalent to y - x (swap the names)...
+        assert canonical_digest(x - y) == canonical_digest(y - x)
+        # ...but not to x - x, and MUX arms don't commute.
+        assert canonical_digest(x - y) != canonical_digest(x - x)
+
+    def test_multi_output_hashing_ignores_output_names(self):
+        x, y = var("x", 8), var("y", 8)
+        assert canonical_digest({"a": x + y, "b": x - y}) == canonical_digest(
+            {"p": x - y, "q": x + y}
+        )
+
+
+class TestCacheKeys:
+    def test_budget_class_ignores_absolute_deadlines(self):
+        assert budget_class(
+            Budget(time_s=2.0, deadline=1000.0)
+        ) == budget_class(Budget(time_s=2.0, deadline=2000.0))
+        assert budget_class(Budget(time_s=2.0)) != budget_class(
+            Budget(time_s=3.0)
+        )
+        assert budget_class(None) == "unbudgeted"
+
+    def test_schedule_knobs_are_part_of_the_key(self):
+        base = Job(name="a", design="lzc_example")
+        assert job_cache_key(base) == job_cache_key(
+            replace(base, name="renamed")
+        )
+        for change in (
+            dict(iter_limit=1),
+            dict(verify=True),
+            dict(budget=Budget(iters=5)),
+            dict(phases=(("structural",),)),
+        ):
+            assert job_cache_key(base) != job_cache_key(
+                replace(base, **change)
+            ), change
+
+
+class TestResultCache:
+    def test_cache_hit_round_trips_byte_identical(self):
+        record = execute_job(
+            Job(name="orig", design="lzc_example", budget=Budget(time_s=5.0), **FAST)
+        )
+        assert record.status == "ok", record.error
+        cache = ResultCache()
+        key = job_cache_key(Job(name="orig", design="lzc_example", **FAST))
+        assert cache.put(key, record)
+        hit = cache.get(key)
+        assert hit is not None and hit.cache_hit is True
+        # Apart from the cache-hit provenance flag, the served record is
+        # byte-identical to the stored one.
+        assert replace(hit, cache_hit=False).to_json() == record.to_json()
+        # And the stored entry itself was not mutated by serving it.
+        assert cache.get(key).to_json() == hit.to_json()
+
+    def test_error_records_are_never_admitted(self):
+        cache = ResultCache()
+        bad = RunRecord(job="x", design="y", status="error", error="boom")
+        assert not cache.put("k", bad)
+        assert cache.get("k") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_evicts_the_coldest_entry(self):
+        cache = ResultCache(capacity=2)
+        for i in range(3):
+            cache.put(f"k{i}", RunRecord(job=f"j{i}", design="d"))
+        assert cache.get("k0") is None  # evicted
+        assert cache.get("k2").job == "j2"
+
+    def test_disk_tier_survives_a_restart(self, tmp_path):
+        path = tmp_path / "cache.json"
+        first = ResultCache(capacity=4, path=path)
+        first.put("k", RunRecord(job="j", design="d", nodes=7))
+        assert first.persist() == 1
+
+        reborn = ResultCache(capacity=4, path=path)
+        assert reborn.load() == 1
+        hit = reborn.get("k")
+        assert hit.nodes == 7 and hit.cache_hit is True
+        # The promoted entry now also serves from memory.
+        assert reborn.stats()["memory_entries"] == 1
