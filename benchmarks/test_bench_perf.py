@@ -4,11 +4,14 @@ Times the `fp_sub` optimize run (iter_limit=4, verification off) that the
 engine work is benchmarked against, and emits ``BENCH_perf.json`` at the
 repo root — wall time, nodes/sec and the per-phase split from
 :class:`~repro.egraph.runner.IterationStats` — so the perf trajectory is
-tracked across PRs.  ``BENCH_perf.json`` carries two interleaved series,
+tracked across PRs.  ``BENCH_perf.json`` carries interleaved series,
 distinguished by the record's ``job`` field: ``perf:fp_sub`` (the single-
-output hot path) and ``perf:stress_wide`` (the 8-output monolithic
-governed run the flat core unlocked); the bench-smoke factor compares
-each run against the previous entry *of the same series*.
+output hot path), ``perf:stress_wide`` (the 8-output monolithic governed
+run the flat core unlocked), ``perf:fp_sub_warm`` (cold-vs-warm on an
+edited design, pinning the warm-start speedup) and
+``perf:stress_wide_stitch`` (the stitched sharded run closing the
+sharding cost gap); the bench-smoke factor compares each run against the
+previous entry *of the same series*.
 
 Unlike the paper-figure benches this one is cheap (a few seconds) and runs
 in the default test selection, acting as a regression guard: a change that
@@ -276,6 +279,133 @@ def test_perf_flat_core_peak_memory_no_worse_than_legacy(monkeypatch):
         f"flat core peak memory regressed past the object engine: "
         f"{flat} bytes vs {legacy} bytes"
     )
+
+
+#: Minimum median speedup of a warm-started re-optimization of an *edited*
+#: fp_sub over the cold run of the same edited source.  The edit exposes an
+#: already-explored internal wire as a new output — the realistic
+#: resubmission the artifact tier exists for — so the warm run re-interns
+#: with an empty delta and goes straight to extraction.  Measured ~3x on
+#: the baseline box; the floor leaves slack for noisy runners.
+WARM_SPEEDUP_FLOOR = 2.0
+
+WARM_KNOBS = dict(iter_limit=8, node_limit=10_000)
+
+
+def test_perf_fp_sub_warm(tmp_path):
+    """The ``perf:fp_sub_warm`` series: cold-vs-warm on an edited design.
+
+    Seeds the family artifact from the unedited ``fp_sub``, then times the
+    *edited* design (a new ``expdiff_out`` output over the existing
+    ``expdiff`` wire) cold and warm, interleaved.  Pins the PR-8 acceptance
+    bar: warm median >= 2x faster at the identical extracted cost."""
+    design = DESIGNS["fp_sub"]
+    edited = design.verilog.replace(
+        "output [9:0] out", "output [9:0] out,\n  output [4:0] expdiff_out"
+    ).replace("endmodule", "  assign expdiff_out = expdiff;\nendmodule")
+    assert edited != design.verilog
+
+    artifact = tmp_path / "fp_sub.egraph"
+    seed = execute_job(
+        Job(
+            name="seed:fp_sub",
+            design="fp_sub",
+            save_egraph=str(artifact),
+            **WARM_KNOBS,
+        )
+    )
+    assert seed.status == "ok", seed.error
+
+    def run(warm: bool):
+        t0 = time.perf_counter()
+        record = execute_job(
+            Job(
+                name="perf:fp_sub_warm" if warm else "cold:fp_sub_warm",
+                design="fp_sub",
+                source=edited,
+                warm_start=str(artifact) if warm else None,
+                **WARM_KNOBS,
+            )
+        )
+        assert record.status == "ok", record.error
+        return time.perf_counter() - t0, record
+
+    colds, warms = [], []
+    cold = warm = None
+    for _ in range(REPEATS):
+        wall, cold = run(warm=False)
+        colds.append(wall)
+        wall, warm = run(warm=True)
+        warms.append(wall)
+
+    cold_wall = statistics.median(colds)
+    warm_wall = statistics.median(warms)
+    speedup = cold_wall / warm_wall
+
+    assert warm.warm_start.startswith("hit:"), warm.warm_start
+    assert (warm.optimized_area, warm.optimized_delay) == (
+        cold.optimized_area,
+        cold.optimized_delay,
+    ), "warm start changed the extracted cost"
+
+    payload, history = _load_trajectory()
+    entry = warm.as_dict()
+    entry["wall_s"] = round(warm_wall, 4)
+    entry["cold_wall_s"] = round(cold_wall, 4)
+    entry["speedup_vs_cold"] = round(speedup, 2)
+    history = _append_entry(payload, history, entry)
+
+    print(
+        f"\nfp_sub edited resubmission: cold {cold_wall:.3f}s, "
+        f"warm {warm_wall:.3f}s ({speedup:.2f}x), "
+        f"cost {warm.optimized_area}/{warm.optimized_delay}, "
+        f"{warm.warm_start!r}"
+    )
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm start no longer pays: {speedup:.2f}x median "
+        f"(cold {cold_wall:.3f}s, warm {warm_wall:.3f}s)"
+    )
+    _smoke_guard(history, "perf:fp_sub_warm", warm_wall)
+
+
+def test_perf_stress_wide_stitch(tmp_path):
+    """The ``perf:stress_wide_stitch`` series: the stitched sharded run must
+    close the sharding cost gap — no costlier than the plain merge *or* the
+    monolithic run — while its wall stays on the trajectory."""
+    knobs = dict(design="stress_wide", iter_limit=3, node_limit=8_000)
+    mono = execute_job(Job(name="mono", **knobs))
+    plain = execute_job(Job(name="plain", shards=4, **knobs))
+    t0 = time.perf_counter()
+    stitched = execute_job(
+        Job(name="perf:stress_wide_stitch", shards=4, stitch=True, **knobs)
+    )
+    wall = time.perf_counter() - t0
+
+    for record in (mono, plain, stitched):
+        assert record.status == "ok", record.error
+    assert stitched.stitch.startswith("stitched:"), stitched.stitch
+    assert stitched.optimized_area <= plain.optimized_area, (
+        "stitch made the sharded run costlier than the plain merge"
+    )
+    assert stitched.optimized_area <= mono.optimized_area, (
+        "stitched sharded run still behind the monolithic cost"
+    )
+    assert stitched.optimized_delay <= plain.optimized_delay
+    assert stitched.optimized_delay <= mono.optimized_delay
+
+    payload, history = _load_trajectory()
+    entry = stitched.as_dict()
+    entry["wall_s"] = round(wall, 4)
+    entry["plain_area"] = plain.optimized_area
+    entry["mono_area"] = mono.optimized_area
+    history = _append_entry(payload, history, entry)
+
+    print(
+        f"\nstress_wide stitched (4 shards): wall {wall:.3f}s, "
+        f"area {stitched.optimized_area} (plain {plain.optimized_area}, "
+        f"mono {mono.optimized_area}), {stitched.stitch!r}"
+    )
+    _smoke_guard(history, "perf:stress_wide_stitch", wall)
 
 
 #: Minimum fraction of a governed run's wall the per-stage ledger must

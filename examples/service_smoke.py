@@ -8,7 +8,10 @@ socket, exactly as CI's ``service-smoke`` job does:
    the cache is content-addressed, names don't matter);
 3. assert the second submission came from the cache and its
    submit-to-record wall is at least 10x faster than the first;
-4. graceful shutdown, then check the cache file was persisted.
+4. resubmit an *edited* revision of the same design (a new output over an
+   existing internal wire) — the record cache must miss, but the e-graph
+   artifact tier must warm-start it from the first run's saturated graph;
+5. graceful shutdown, then check the cache file was persisted.
 
 Run: ``PYTHONPATH=src python examples/service_smoke.py``
 """
@@ -78,6 +81,32 @@ def main() -> int:
         )
         assert speedup >= SPEEDUP_FLOOR, (
             f"cache hit only {speedup:.1f}x faster (< {SPEEDUP_FLOOR:.0f}x)"
+        )
+
+        # Phase 3: an edited revision of the same design.  The content
+        # digest changes, so the record cache misses — but the queue's
+        # e-graph artifact tier warm-starts it from the first run's
+        # saturated graph instead of paying a full cold saturate.
+        from repro.designs import get_design
+
+        edited = get_design("fp_sub").verilog.replace(
+            "output [9:0] out",
+            "output [9:0] out,\n  output [4:0] expdiff_out",
+        ).replace("endmodule", "  assign expdiff_out = expdiff;\nendmodule")
+        warm_wall, warm = submit_and_time(
+            sock, "ci-a", Job(name="smoke-edited", source=edited, **job)
+        )
+        assert warm.status == "ok", warm.error
+        assert not warm.cache_hit, "edited source must miss the record cache"
+        assert warm.warm_start.startswith("hit:"), (
+            f"edited resubmission did not warm-start: {warm.warm_start!r}"
+        )
+        print(
+            f"edited resubmission {warm_wall:.3f}s "
+            f"(cold was {fresh_wall:.3f}s, {warm.warm_start})"
+        )
+        assert warm_wall < fresh_wall, (
+            "warm-started resubmission was no faster than the cold run"
         )
 
         shutdown = request(sock, {"op": "shutdown"}, timeout=60.0)

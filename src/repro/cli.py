@@ -80,6 +80,21 @@ def _add_optimize_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--module-name", default="optimized", help="name of the emitted module"
     )
+    parser.add_argument(
+        "--warm-start", default=None, metavar="FILE",
+        help="seed saturation from a persisted e-graph artifact (see "
+        "--save-egraph); incompatible artifacts degrade to a cold start",
+    )
+    parser.add_argument(
+        "--save-egraph", default=None, metavar="FILE",
+        help="persist the saturated e-graph as a warm-start artifact",
+    )
+    parser.add_argument(
+        "--stitch", action="store_true",
+        help="after a sharded run, re-union the shard e-graphs on shared "
+        "subexpressions and re-extract from the stitched graph "
+        "(requires --shards/--auto-shard-nodes)",
+    )
     _add_budget_arguments(parser)
     _add_shard_arguments(parser)
 
@@ -209,6 +224,13 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("design", help="registry design name")
     submit.add_argument("--tenant", default="default", help="submitting tenant")
     submit.add_argument("--name", default=None, help="job name (default: design)")
+    submit.add_argument(
+        "--source", default=None, metavar="FILE",
+        help="submit this Verilog file instead of the registry design's "
+        "own source; the design name becomes a label (edited designs "
+        "warm-start from the label's persisted e-graph when the daemon "
+        "keeps artifacts)",
+    )
     submit.add_argument("--iters", type=int, default=None, help="override iterations")
     submit.add_argument("--nodes", type=int, default=None, help="override node limit")
     submit.add_argument(
@@ -249,6 +271,16 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
     from repro.pipeline import Budget
 
+    auto_shard_nodes = args.auto_shard_nodes or None
+    if args.warm_start:
+        if args.shards > 0:
+            raise SystemExit(
+                "error: --warm-start composes with the monolithic flow "
+                "only (drop --shards)"
+            )
+        # Warm-starting seeds one monolithic graph; the auto-shard
+        # default must not silently force the sharded flow.
+        auto_shard_nodes = None
     config = OptimizerConfig(
         iter_limit=args.iters,
         node_limit=args.nodes,
@@ -256,7 +288,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         verify=not args.no_verify,
         split_threshold=None if args.no_split else args.split_threshold,
         shards=args.shards,
-        auto_shard_nodes=args.auto_shard_nodes or None,
+        auto_shard_nodes=auto_shard_nodes,
         shard_parallel=args.shard_parallel,
         budget=(
             Budget.of_ms(args.budget_ms) if args.budget_ms is not None else None
@@ -267,6 +299,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             if args.verify_budget_ms is not None
             else None
         ),
+        warm_start=args.warm_start,
+        save_egraph=args.save_egraph,
+        stitch=args.stitch,
     )
     tool = DatapathOptimizer(dict(args.ranges), config)
     module = tool.optimize_verilog(source)
@@ -474,6 +509,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.pipeline import Job
     from repro.service import job_to_dict, request, wait_for_result
 
+    source = None
+    if args.source:
+        with open(args.source) as handle:
+            source = handle.read()
     job = Job(
         name=args.name or args.design,
         design=args.design,
@@ -481,6 +520,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         node_limit=args.nodes,
         time_limit=args.time_limit,
         verify=args.verify,
+        source=source,
     )
     reply = request(
         args.socket,

@@ -17,7 +17,9 @@ POPL 2021).  This package reimplements the same machinery in Python:
   patterns lowered into one per-op query plan over the core arrays),
 * :mod:`~repro.egraph.rewrite` — declarative and dynamic rewrite rules,
 * :mod:`~repro.egraph.runner` — saturation runner with a backoff scheduler,
-* :mod:`~repro.egraph.extract` — cost-directed extraction.
+* :mod:`~repro.egraph.extract` — cost-directed extraction,
+* :mod:`~repro.egraph.serialize` — persistent e-graph artifacts (versioned
+  save/load format for warm starts) and cross-graph absorption (stitching).
 """
 
 from repro.egraph.unionfind import UnionFind
@@ -34,6 +36,15 @@ from repro.egraph.extract import (
     CostFunction,
     ExtractReport,
     Extractor,
+)
+from repro.egraph.serialize import (
+    EGraphFormatError,
+    EGraphHeader,
+    SavedEGraph,
+    absorb_graph,
+    load_egraph,
+    read_header,
+    save_egraph,
 )
 
 __all__ = [
@@ -61,4 +72,11 @@ __all__ = [
     "CostFunction",
     "AstSizeCost",
     "AstDepthCost",
+    "EGraphFormatError",
+    "EGraphHeader",
+    "SavedEGraph",
+    "absorb_graph",
+    "load_egraph",
+    "read_header",
+    "save_egraph",
 ]

@@ -626,34 +626,94 @@ class CoreGraph:
         )
 
     # ---------------------------------------------------------------- pickling
+    def _clean_copy(self) -> CoreGraph:
+        """A rebuilt, fully-independent copy of this graph.
+
+        Used by :meth:`__reduce__` to ship canonical arrays without draining
+        the *original* graph's pending work — a pickle must never mutate the
+        object being pickled (daemon threads snapshot live graphs for warm
+        starts).  Every mutable container is copied; interned ops/attrs,
+        children tuples and analysis payloads are immutable and shared.
+        """
+        clone = CoreGraph.__new__(CoreGraph)
+        clone.uf = UnionFind()
+        clone.uf._parent = list(self.uf._parent)
+        clone.uf._size = list(self.uf._size)
+        clone.node_op = array("q", self.node_op)
+        clone.node_attr = array("q", self.node_attr)
+        clone.node_first = array("q", self.node_first)
+        clone.node_nkids = array("q", self.node_nkids)
+        clone.node_class = array("q", self.node_class)
+        clone.node_alive = bytearray(self.node_alive)
+        clone.kids = array("q", self.kids)
+        clone.ops = list(self.ops)
+        clone.op_ids = dict(self.op_ids)
+        clone.attrs = list(self.attrs)
+        clone.attr_ids = dict(self.attr_ids)
+        clone.memo = dict(self.memo)
+        clone.class_nodes = [
+            dict(members) if members is not None else None
+            for members in self.class_nodes
+        ]
+        clone.class_parents = [
+            dict(parents) if parents is not None else None
+            for parents in self.class_parents
+        ]
+        clone.class_data = [
+            dict(data) if data is not None else None for data in self.class_data
+        ]
+        clone.class_rev = list(self.class_rev)
+        clone.op_nodes = [dict(sub) for sub in self.op_nodes]
+        clone.pending_pairs = list(self.pending_pairs)
+        clone.pending_losers = list(self.pending_losers)
+        clone.analysis_pending = dict(self.analysis_pending)
+        clone.analyses = self.analyses
+        clone.n_nodes = self.n_nodes
+        clone.n_classes = self.n_classes
+        clone.version = self.version
+        clone._views = [None] * len(self.node_op)
+        clone._kid_tups = list(self._kid_tups)
+        clone._assume_id = self._assume_id
+        clone._const_id = self._const_id
+        clone.owner = clone
+        if self.owner is not self:
+            # Analysis ``modify`` hooks expect the façade API, so the clone
+            # needs its own (the original's façade must keep pointing here).
+            from repro.egraph.egraph import _egraph_from_core
+
+            _egraph_from_core(clone)
+        return clone
+
     def __reduce__(self):
         """Compact pickling: arrays + intern tables + analysis data only.
 
         The hashcons, per-op index, parent sets and view cache are derived
-        on load.  Pending work is drained first so the shipped arrays are
-        canonical (a rebuild is semantics-preserving, so this is safe even
-        mid-run).
+        on load.  The shipped arrays must be canonical, but draining pending
+        work in place would make pickling side-effecting — so a dirty graph
+        is cloned first and the *clone* is rebuilt; ``self`` is untouched.
         """
-        if not self.is_clean:
-            self.rebuild()
+        core = self
+        if not core.is_clean:
+            core = core._clean_copy()
+            core.rebuild()
         state = (
-            self.analyses,
-            list(self.uf._parent),
-            list(self.uf._size),
-            self.ops,
-            self.attrs,
-            self.node_op,
-            self.node_attr,
-            self.node_first,
-            self.node_nkids,
-            self.node_class,
-            bytes(self.node_alive),
-            self.kids,
-            self.class_data,
-            self.class_rev,
-            self.n_nodes,
-            self.n_classes,
-            self.version,
+            core.analyses,
+            list(core.uf._parent),
+            list(core.uf._size),
+            core.ops,
+            core.attrs,
+            core.node_op,
+            core.node_attr,
+            core.node_first,
+            core.node_nkids,
+            core.node_class,
+            bytes(core.node_alive),
+            core.kids,
+            core.class_data,
+            core.class_rev,
+            core.n_nodes,
+            core.n_classes,
+            core.version,
         )
         return (_core_from_state, (state,))
 

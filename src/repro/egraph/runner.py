@@ -322,6 +322,12 @@ class Runner:
             self.egraph.check_invariants()
         iteration = 0
         while iter_limit is None or iteration < iter_limit:
+            if self.egraph.node_count > node_limit:
+                # A seed already over budget (warm start, oversized ingest)
+                # cannot admit a single application: skip the search phase
+                # it would pay for nothing.
+                stop = StopReason.NODE_LIMIT
+                break
             stats = IterationStats(
                 index=iteration,
                 nodes_before=self.egraph.node_count,

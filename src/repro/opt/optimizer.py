@@ -25,13 +25,17 @@ from repro.pipeline import (
     CaseSplit,
     Extract,
     Ingest,
+    Job,
     MergeShards,
     Pipeline,
     PipelineContext,
+    SaveEGraph,
     Saturate,
     Shard,
     ShardSchedule,
     Verify,
+    WarmStart,
+    job_schedule_key,
 )
 from repro.rewrites import compose_rules
 from repro.rtl import emit_verilog
@@ -84,6 +88,15 @@ class OptimizerConfig:
     #: assert e-graph invariants after every runner iteration (tests only;
     #: the check sweeps the whole graph).
     check_invariants: bool = False
+    #: seed saturation from a persisted e-graph artifact at this path
+    #: (monolithic flow only; an incompatible artifact cold-starts).
+    warm_start: str | None = None
+    #: persist the saturated e-graph to this path for later warm starts
+    #: (after Saturate monolithically, after the stitch when sharded).
+    save_egraph: str | None = None
+    #: sharded flow only: re-union the shard e-graphs after the merge and
+    #: run a short budgeted stitch saturation to recover cross-cone sharing.
+    stitch: bool = False
     #: extraction objective key (delay, area) -> ordering key.
     extraction_key = staticmethod(default_key)
 
@@ -93,6 +106,19 @@ class OptimizerConfig:
             self.split_threshold,
             self.enable_assume,
             self.enable_condition_rewriting,
+        )
+
+    def schedule_key(self) -> str:
+        """Artifact-compatibility key — identical to the service's for the
+        same knobs, so CLI-saved artifacts and daemon-saved ones interop."""
+        return job_schedule_key(
+            Job(
+                name="",
+                design="",
+                split_threshold=self.split_threshold,
+                enable_assume=self.enable_assume,
+                enable_condition=self.enable_condition_rewriting,
+            )
         )
 
 
@@ -174,6 +200,10 @@ class DatapathOptimizer:
         config = self.config
         sharding = config.shards > 0 or config.auto_shard_nodes is not None
         if sharding:
+            if config.warm_start:
+                raise ValueError(
+                    "warm-start composes with the monolithic flow only"
+                )
             if config.extraction_key is not default_key:
                 # Same rationale: shards extract with the default objective
                 # (the schedule that crosses process boundaries carries no
@@ -206,17 +236,38 @@ class DatapathOptimizer:
                         # splits its cone can see, instead of the old
                         # behaviour of refusing to compose at all.
                         splits=tuple(user_splits),
+                        ship_egraph=config.stitch,
                     ),
                     max_shards=config.shards if config.shards > 0 else None,
                     auto_threshold=config.auto_shard_nodes,
                     parallel=config.shard_parallel,
                 ),
-                MergeShards(),
+                MergeShards(
+                    stitch=config.stitch,
+                    stitch_rules=config.rules() if config.stitch else None,
+                ),
             ]
+            if config.save_egraph:
+                stages.append(
+                    SaveEGraph(config.save_egraph, schedule=config.schedule_key())
+                )
             if config.verify:
                 stages.append(Verify(strict=True, budget=config.verify_budget))
             return Pipeline(stages)
-        stages = [Ingest(source=source, roots=dict(roots) if roots else None)]
+        if config.stitch:
+            raise ValueError("stitch requires a sharded flow")
+        warm = bool(config.warm_start)
+        stages = [
+            Ingest(
+                source=source,
+                roots=dict(roots) if roots else None,
+                seed_egraph=not warm,
+            )
+        ]
+        if warm:
+            stages.append(
+                WarmStart(config.warm_start, schedule=config.schedule_key())
+            )
         if user_splits:
             stages.append(CaseSplit(user_splits))
         stages.append(
@@ -228,6 +279,10 @@ class DatapathOptimizer:
                 check_invariants=config.check_invariants,
             )
         )
+        if config.save_egraph:
+            stages.append(
+                SaveEGraph(config.save_egraph, schedule=config.schedule_key())
+            )
         # ASSUME wrappers are kept in the extracted tree: the tree-level
         # range analysis re-derives the constraint refinements from them, so
         # netlist lowering and Verilog emission see the reduced bitwidths.

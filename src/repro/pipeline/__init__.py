@@ -41,8 +41,11 @@ from repro.pipeline.session import (
     RunRecord,
     Session,
     execute_job,
+    job_design,
+    job_schedule_key,
     job_stages,
     record_from_context,
+    resolve_design,
 )
 from repro.pipeline.shard import (
     MergeShards,
@@ -57,9 +60,11 @@ from repro.pipeline.stages import (
     Emit,
     Extract,
     Ingest,
+    SaveEGraph,
     Saturate,
     Stage,
     Verify,
+    WarmStart,
 )
 
 __all__ = [
@@ -78,8 +83,10 @@ __all__ = [
     "run_stages",
     "Stage",
     "Ingest",
+    "WarmStart",
     "CaseSplit",
     "Saturate",
+    "SaveEGraph",
     "Extract",
     "Verify",
     "Emit",
@@ -93,6 +100,9 @@ __all__ = [
     "Job",
     "RunRecord",
     "execute_job",
+    "job_design",
+    "job_schedule_key",
     "job_stages",
     "record_from_context",
+    "resolve_design",
 ]

@@ -15,13 +15,15 @@ appends records to ``BENCH_perf.json`` through it.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Iterable, Sequence
 
-from repro.designs.registry import DESIGNS, get_design
+from repro.designs.registry import DESIGNS, Design, design_roots, get_design
+from repro.ir.expr import subterms
 from repro.pipeline.budget import (
     Budget,
     BudgetPool,
@@ -31,8 +33,17 @@ from repro.pipeline.budget import (
 from repro.pipeline.context import PipelineContext
 from repro.pipeline.pipeline import Pipeline
 from repro.pipeline.shard import MergeShards, Shard, ShardSchedule
-from repro.pipeline.stages import Extract, Ingest, Saturate, Stage, Verify
+from repro.pipeline.stages import (
+    Extract,
+    Ingest,
+    SaveEGraph,
+    Saturate,
+    Stage,
+    Verify,
+    WarmStart,
+)
 from repro.rewrites.rulesets import casesplit_ruleset, compose_rules, ruleset
+from repro.rtl import module_to_ir
 
 
 @dataclass(frozen=True)
@@ -80,6 +91,84 @@ class Job:
     budget: Budget | None = None
     budget_policy: str = "adaptive"
     verify_budget: Budget | None = None
+    #: Inline Verilog for ad-hoc submissions.  When set, ``design`` is a
+    #: *label* (used for warm-start family lookup and reporting), not a
+    #: registry key; input ranges are inherited from the same-label registry
+    #: design for the variables that survive the edit (see
+    #: :func:`resolve_design`).
+    source: str | None = None
+    #: Path to a persisted e-graph artifact to seed saturation from
+    #: (monolithic schedules only).  An incompatible or missing artifact
+    #: degrades to a cold start, recorded in ``RunRecord.warm_start``.
+    warm_start: str | None = None
+    #: Path to persist the saturated e-graph to, for later warm starts.
+    save_egraph: str | None = None
+    #: Sharded schedules only: after the merge, re-union the shard e-graphs
+    #: into one graph and run a short budgeted stitch saturation to recover
+    #: the cross-cone sharing per-output shards give up.
+    stitch: bool = False
+
+
+#: Job knobs that select *which rewrites run* — the compatibility contract
+#: for reusing a persisted e-graph.  Exploration limits (iterations, nodes,
+#: wall) are excluded on purpose: a graph saturated deeper than the current
+#: budget is still sound to seed from.
+_RULESET_FIELDS = (
+    "enable_assume",
+    "enable_condition",
+    "split_threshold",
+    "phases",
+    "phase_iters",
+)
+
+
+def job_schedule_key(job: Job) -> str:
+    """Digest of the ruleset-selecting knobs (artifact compatibility key)."""
+    payload = repr(
+        tuple(getattr(job, name) for name in _RULESET_FIELDS)
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def resolve_design(job: Job) -> tuple[dict, dict]:
+    """``(roots, input_ranges)`` of the job's design — source-aware.
+
+    Registry jobs resolve through the (memoized) registry.  Ad-hoc
+    ``job.source`` jobs elaborate their Verilog directly; when the label
+    also names a registry design, that design's input-range constraints are
+    inherited for every variable still present in the edited source — an
+    edit that only restructures logic over the same inputs keeps the exact
+    range assumptions, which is what makes its warm start compatible.
+    """
+    if job.source is None:
+        design = get_design(job.design)
+        return design_roots(job.design), design.input_ranges
+    roots = module_to_ir(job.source)
+    ranges: dict = {}
+    if job.design in DESIGNS:
+        base = DESIGNS[job.design].input_ranges
+        variables = {
+            node.var_name
+            for node in subterms(tuple(roots.values()))
+            if node.is_var
+        }
+        ranges = {name: iset for name, iset in base.items() if name in variables}
+    return roots, ranges
+
+
+def job_design(job: Job) -> Design:
+    """The :class:`Design` a job runs (ad-hoc sources get a synthetic one)."""
+    if job.source is None:
+        return get_design(job.design)
+    roots, ranges = resolve_design(job)
+    output = "out" if "out" in roots else sorted(roots)[0]
+    return Design(
+        name=job.design,
+        verilog=job.source,
+        output=output,
+        input_ranges=ranges,
+        description="ad-hoc source submission",
+    )
 
 
 @dataclass
@@ -131,6 +220,12 @@ class RunRecord:
     tenant: str = ""
     cache_hit: bool = False
     queue_wait_s: float = 0.0
+    #: Warm-start provenance: ``"hit:<digest12>"`` when saturation was
+    #: seeded from a persisted e-graph, ``"cold:<reason>"`` when a requested
+    #: warm start fell back, ``""`` when none was requested.
+    warm_start: str = ""
+    #: Stitch-phase provenance (``""`` when the phase didn't run).
+    stitch: str = ""
     error: str | None = None
 
     # -------------------------------------------------------- serialization
@@ -157,9 +252,16 @@ def job_stages(job: Job, design) -> list[Stage]:
     sharding = job.shards > 0 or job.auto_shard_nodes is not None
     if sharding and job.phases:
         raise ValueError("sharding composes with the single-phase schedule only")
+    if sharding and job.warm_start:
+        raise ValueError("warm-start composes with monolithic schedules only")
+    if job.stitch and not sharding:
+        raise ValueError("stitch requires a sharded schedule")
+    warm = job.warm_start is not None
     stages: list[Stage] = [
-        Ingest(source=design.verilog, seed_egraph=not sharding)
+        Ingest(source=design.verilog, seed_egraph=not (sharding or warm))
     ]
+    if warm:
+        stages.append(WarmStart(job.warm_start, schedule=job_schedule_key(job)))
     if sharding:
         schedule = ShardSchedule(
             iter_limit=iter_limit,
@@ -169,6 +271,7 @@ def job_stages(job: Job, design) -> list[Stage]:
             enable_assume=job.enable_assume,
             enable_condition=job.enable_condition,
             budget_policy=job.budget_policy,
+            ship_egraph=job.stitch,
         )
         stages.append(
             Shard(
@@ -178,7 +281,20 @@ def job_stages(job: Job, design) -> list[Stage]:
                 parallel=job.shard_parallel,
             )
         )
-        stages.append(MergeShards())
+        stages.append(
+            MergeShards(
+                stitch=job.stitch,
+                stitch_rules=compose_rules(
+                    job.split_threshold, job.enable_assume, job.enable_condition
+                )
+                if job.stitch
+                else None,
+            )
+        )
+        if job.save_egraph:
+            stages.append(
+                SaveEGraph(job.save_egraph, schedule=job_schedule_key(job))
+            )
         if job.verify:
             stages.append(Verify(budget=job.verify_budget))
         return stages
@@ -212,6 +328,8 @@ def job_stages(job: Job, design) -> list[Stage]:
                 time_limit=job.time_limit,
             )
         )
+    if job.save_egraph:
+        stages.append(SaveEGraph(job.save_egraph, schedule=job_schedule_key(job)))
     stages.append(Extract())
     if job.verify:
         stages.append(Verify(budget=job.verify_budget))
@@ -289,6 +407,8 @@ def record_from_context(
         budget=budget_block,
         extract_status=",".join(sorted(extract_statuses)),
         verify_method=verdict.method if verdict is not None else "",
+        warm_start=str(ctx.artifacts.get("warm_start", "")),
+        stitch=str(ctx.artifacts.get("stitch_status", "")),
     )
 
 
@@ -304,7 +424,7 @@ def execute_job(job: Job) -> RunRecord:
     """
     ctx = PipelineContext()
     try:
-        design = get_design(job.design)
+        design = job_design(job)
         ctx.input_ranges = dict(design.input_ranges)
         Pipeline(job_stages(job, design)).run(
             ctx=ctx,

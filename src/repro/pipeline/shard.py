@@ -43,7 +43,9 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 
+from repro.analysis import DatapathAnalysis
 from repro.analysis.sharding import ConeShard, ShardPlan, plan_shards, should_shard
+from repro.egraph import EGraph, absorb_graph
 from repro.egraph.runner import RunnerReport
 from repro.ir.cones import cone_inputs
 from repro.ir.expr import Expr
@@ -89,6 +91,11 @@ class ShardSchedule:
     budget: Budget | None = None
     budget_policy: str = "adaptive"
     splits: tuple[Expr, ...] = ()
+    #: Ship each shard's saturated e-graph back with its result (compact
+    #: ``__reduce__`` pickling across the process boundary) so a stitch
+    #: phase can re-union them; off by default — graphs dwarf the extracted
+    #: trees, so plain merges shouldn't pay the shipping cost.
+    ship_egraph: bool = False
 
 
 @dataclass(frozen=True)
@@ -123,6 +130,10 @@ class ShardResult:
     #: Extraction outcome inside the shard: "complete" | "deadline" (empty
     #: for pre-anytime results).
     extract_status: str = ""
+    #: The shard's saturated e-graph and its output → class-id map, shipped
+    #: only when the schedule set ``ship_egraph`` (None/{} otherwise).
+    egraph: EGraph | None = None
+    root_ids: dict[str, int] = field(default_factory=dict)
 
     @property
     def stop_reasons(self) -> tuple[str, ...]:
@@ -240,6 +251,8 @@ def run_shard_task(task: ShardTask) -> ShardResult:
         extract_status=",".join(
             sorted({report.status for report in ctx.extract_reports})
         ),
+        egraph=ctx.egraph if task.schedule.ship_egraph else None,
+        root_ids=dict(ctx.root_ids) if task.schedule.ship_egraph else {},
     )
 
 
@@ -429,11 +442,43 @@ class MergeShards:
     ``RunRecord.shard_walls``), per-shard allocated-vs-spent ledgers in
     ``ctx.artifacts["shard_budgets"]``; saturation reports append in shard
     order.
+
+    ``stitch=True`` adds the governed cross-cone **stitch phase** after the
+    plain merge: the shipped shard e-graphs (``ShardSchedule.ship_egraph``)
+    are absorbed into one graph seeded with the full design's roots — the
+    hashcons re-unites the shared subexpressions per-output cones explored
+    separately — then a short budgeted saturation (``stitch`` ledger row)
+    lets rewrites cross the old cone boundaries, and a re-extraction
+    (``stitch-extract`` row) harvests the recovered sharing.  Per output the
+    *better* of stitched vs plain-merge survives, so stitching is never
+    costlier than the plain merge by construction; the phase's outcome lands
+    in ``ctx.artifacts["stitch"]``/``["stitch_status"]`` and the stitched
+    graph stays on ``ctx.egraph`` for ``SaveEGraph``.
     """
 
     name = "merge-shards"
+    #: Charges its own ledger row (net of the inner stitch stages, which
+    #: charge ``stitch``/``stitch-extract`` themselves).
+    self_charging = True
+
+    def __init__(
+        self,
+        stitch: bool = False,
+        stitch_rules=None,
+        stitch_iters: int = 2,
+        stitch_node_limit: int | None = None,
+        stitch_time_limit: float = 10.0,
+    ) -> None:
+        self.stitch = stitch
+        self.stitch_rules = stitch_rules
+        self.stitch_iters = stitch_iters
+        self.stitch_node_limit = stitch_node_limit
+        self.stitch_time_limit = stitch_time_limit
 
     def run(self, ctx: PipelineContext) -> None:
+        governor = ctx.governor
+        clock = governor.clock if governor is not None else time.monotonic
+        started = clock()
         if not ctx.shard_results:
             raise RuntimeError("MergeShards needs a Shard stage to run first")
         merged_outputs: set[str] = set()
@@ -461,3 +506,83 @@ class MergeShards:
         }
         if ledgers:
             ctx.artifacts["shard_budgets"] = ledgers
+        inner = self._stitch(ctx) if self.stitch else 0.0
+        if governor is not None:
+            # Own row: the merge bookkeeping only — the stitch stages have
+            # already charged their rows, double-charging their wall here
+            # would sink the ledger-coverage invariant from above.
+            governor.charge(
+                self.name, time_s=max(0.0, clock() - started - inner)
+            )
+
+    # ----------------------------------------------------------- stitch phase
+    def _stitch(self, ctx: PipelineContext) -> float:
+        """Run the stitch phase; returns the inner stages' wall seconds."""
+        shipped = [r for r in ctx.shard_results if r.egraph is not None]
+        if not shipped or len(shipped) != len(ctx.shard_results):
+            # A schedule without ship_egraph (or a partial ship) cannot
+            # stitch soundly — the plain merge stands.
+            ctx.artifacts["stitch_status"] = "skipped:no-graphs"
+            return 0.0
+        plain_extracted = dict(ctx.extracted)
+        plain_costs = dict(ctx.optimized_costs)
+        # One graph, the whole design: seeding with the original roots
+        # restores every cross-cone shared subexpression, and absorbing the
+        # shard graphs layers each cone's proven equivalences on top.
+        egraph = EGraph([DatapathAnalysis(ctx.input_ranges)])
+        root_ids = {
+            name: egraph.add_expr(expr) for name, expr in ctx.roots.items()
+        }
+        egraph.rebuild()
+        for result in shipped:
+            mapping = absorb_graph(egraph, result.egraph)
+            for output, shard_root in result.root_ids.items():
+                src = result.egraph.find(shard_root)
+                if output in root_ids and src in mapping:
+                    egraph.union(root_ids[output], mapping[src])
+        egraph.rebuild()
+        ctx.egraph = egraph
+        ctx.root_ids = root_ids
+        node_limit = (
+            self.stitch_node_limit
+            if self.stitch_node_limit is not None
+            # Headroom over the absorbed size: the budget caps *absolute*
+            # graph size, and the stitched graph starts near the shards' sum.
+            else egraph.node_count + 10_000
+        )
+        rules = (
+            self.stitch_rules if self.stitch_rules is not None else compose_rules()
+        )
+        saturate = Saturate(
+            rules,
+            iter_limit=self.stitch_iters,
+            node_limit=node_limit,
+            time_limit=self.stitch_time_limit,
+            label="stitch",
+        )
+        saturate.run(ctx)
+        Extract(label="stitch-extract").run(ctx)
+        inner = ctx.reports[-1].total_time + ctx.extract_reports[-1].total_time
+        # Keep-min guarantee: per output the better of stitched vs plain
+        # merge survives, so the phase can only close the gap to monolithic,
+        # never widen it.
+        improved = 0
+        reverted = 0
+        for output, base in plain_costs.items():
+            stitched = ctx.optimized_costs.get(output)
+            if stitched is None or stitched.key > base.key:
+                ctx.extracted[output] = plain_extracted[output]
+                ctx.optimized_costs[output] = base
+                reverted += 1
+            elif stitched.key < base.key:
+                improved += 1
+        status = f"stitched:improved={improved}/{len(plain_costs)}"
+        ctx.artifacts["stitch_status"] = status
+        ctx.artifacts["stitch"] = {
+            "improved": improved,
+            "reverted": reverted,
+            "outputs": len(plain_costs),
+            "nodes": egraph.node_count,
+            "classes": egraph.class_count,
+        }
+        return inner

@@ -20,7 +20,12 @@ from typing import Callable, Protocol, Sequence, runtime_checkable
 
 from repro.analysis import DatapathAnalysis
 from repro.egraph import EGraph, ExtractReport, Extractor, Runner
-from repro.egraph.runner import DEFAULT_MATCH_LIMIT, BackoffScheduler
+from repro.egraph.runner import (
+    DEFAULT_MATCH_LIMIT,
+    BackoffScheduler,
+    RunnerReport,
+    StopReason,
+)
 from repro.egraph.rewrite import Rewrite
 from repro.ir.expr import Expr
 from repro.rewrites import compose_rules
@@ -115,6 +120,126 @@ class Ingest:
         ctx.egraph.rebuild()
 
 
+class WarmStart:
+    """Seed the e-graph from a persisted artifact instead of cold-building.
+
+    Runs right after an ``Ingest(seed_egraph=False)``: it loads the artifact
+    (see :mod:`repro.egraph.serialize`), checks compatibility — format
+    version, ruleset/schedule key, and the *input ranges* the persisted
+    analysis was computed under — and re-interns the current design's roots
+    into the revived graph.  An edited design therefore inserts only its
+    delta; every equivalence the previous run proved is already present, so
+    the following ``Saturate`` re-converges in about one iteration on
+    unchanged cones — and when the edit re-interns without adding a single
+    e-node (say, exposing an already-explored internal wire as a new
+    output), saturation is skipped outright: an empty delta has nothing to
+    saturate.  Any incompatibility (missing file, format bump,
+    different schedule, different ranges) degrades to exactly the cold graph
+    ``Ingest`` would have built, and the outcome lands in
+    ``ctx.artifacts["warm_start"]`` as ``"hit:<digest12>"`` or
+    ``"cold:<reason>"``.
+    """
+
+    name = "warm-start"
+
+    def __init__(self, path, schedule: str = "") -> None:
+        self.path = path
+        self.schedule = schedule
+
+    def run(self, ctx: PipelineContext) -> None:
+        from repro.egraph.serialize import EGraphFormatError, load_egraph
+
+        egraph = None
+        try:
+            saved = load_egraph(
+                self.path, expect_schedule=self.schedule or None
+            )
+        except EGraphFormatError as exc:
+            status = f"cold:{exc.reason}"
+        else:
+            if saved.input_ranges != dict(ctx.input_ranges):
+                # The persisted analysis baked the old run's range
+                # assumptions into every class; reusing it under different
+                # assumptions would smuggle in unsound equivalences.
+                status = "cold:input-ranges"
+            else:
+                egraph = saved.egraph
+                status = f"hit:{saved.header.digest[:12]}"
+        exact = False
+        if egraph is not None and saved.header.digest:
+            # Runtime import: the canonical digest lives with the service
+            # cache, which imports the pipeline package.
+            from repro.service.cache import canonical_digest
+
+            exact = saved.header.digest == canonical_digest(
+                ctx.roots, ctx.input_ranges
+            )
+            if not exact:
+                status += ":delta"
+        if egraph is None:
+            egraph = EGraph([DatapathAnalysis(ctx.input_ranges)])
+        nodes_before = egraph.node_count
+        ctx.egraph = egraph
+        ctx.root_ids = {
+            name: egraph.add_expr(expr) for name, expr in ctx.roots.items()
+        }
+        egraph.rebuild()
+        ctx.artifacts["warm_start"] = status
+        empty_delta = (
+            not exact
+            and egraph is not None
+            and status.startswith("hit:")
+            and egraph.node_count == nodes_before
+        )
+        if exact or empty_delta:
+            # The artifact *is* this design saturated under this exact
+            # schedule — either the digest matches outright, or the edited
+            # design's cones re-interned without adding a single e-node
+            # (every subexpression was already explored), so there is no
+            # delta to saturate.  Re-running the schedule would redo
+            # consumed work, churning the graph past its limits from a
+            # bigger seed and perturbing extraction tie-breaks.  Flag the
+            # schedule as spent; a delta that adds new nodes re-saturates.
+            ctx.artifacts["warm_saturated"] = True
+
+
+class SaveEGraph:
+    """Persist the (saturated) e-graph as a warm-start artifact.
+
+    Placed after the last ``Saturate`` (monolithic schedules) or after a
+    stitched ``MergeShards``; a no-op when the context carries no e-graph
+    (e.g. a sharded run without the stitch phase).  The header's digest is
+    the service cache's canonical DAG digest of the context's roots, so the
+    artifact is attributable; the write itself is atomic
+    (:func:`repro.egraph.serialize.save_egraph`).
+    """
+
+    name = "save-egraph"
+
+    def __init__(self, path, schedule: str = "") -> None:
+        self.path = path
+        self.schedule = schedule
+
+    def run(self, ctx: PipelineContext) -> None:
+        if ctx.egraph is None:
+            return
+        # Runtime import: the canonical digest lives with the service cache,
+        # which imports the pipeline package — a module-level import here
+        # would close that loop.
+        from repro.egraph.serialize import save_egraph
+        from repro.service.cache import canonical_digest
+
+        save_egraph(
+            self.path,
+            ctx.egraph,
+            ctx.root_ids,
+            digest=canonical_digest(ctx.roots, ctx.input_ranges),
+            schedule=self.schedule,
+            input_ranges=dict(ctx.input_ranges),
+        )
+        ctx.artifacts["egraph_artifact"] = str(self.path)
+
+
 class CaseSplit:
     """Designer-driven case splits on every root (Section V's future-work
     hook: ``x = mux(c, assume(x, c), assume(x, !c))``)."""
@@ -126,6 +251,9 @@ class CaseSplit:
 
     def run(self, ctx: PipelineContext) -> None:
         egraph = ctx.require_egraph()
+        # Splitting grows the graph beyond whatever a warm-start artifact
+        # recorded, so the persisted schedule no longer covers it.
+        ctx.artifacts.pop("warm_saturated", None)
         for root_id in ctx.root_ids.values():
             for split in self.splits:
                 case_split_on(egraph, root_id, split)
@@ -197,6 +325,14 @@ class Saturate:
         return budget.intersect(remaining)
 
     def run(self, ctx: PipelineContext) -> None:
+        if ctx.artifacts.get("warm_saturated"):
+            # An exact warm-start hit: the loaded artifact already consumed
+            # this schedule on this very design, so the fixpoint this stage
+            # would reach is the graph it is looking at.
+            ctx.reports.append(
+                RunnerReport(StopReason.SATURATED, [], 0.0)
+            )
+            return
         budget = self.effective_budget(ctx)
         governor = ctx.governor
         egraph = ctx.require_egraph()

@@ -24,6 +24,8 @@ from repro.service.cache import (
     budget_class,
     canonical_digest,
     job_cache_key,
+    job_digest,
+    warm_family,
 )
 from repro.service.daemon import (
     OptimizationDaemon,
@@ -45,6 +47,8 @@ __all__ = [
     "budget_class",
     "canonical_digest",
     "job_cache_key",
+    "job_digest",
+    "warm_family",
     "Event",
     "EventFeed",
     "events_from_record",

@@ -20,30 +20,53 @@ up to input renaming and commutative reordering (up to SHA-256 collision).
 The cache itself is two-tier: a bounded in-memory LRU in front of an
 optional on-disk JSON file the daemon persists on shutdown and reloads on
 start.  Only ``status == "ok"`` records are admitted — errors always rerun.
+Disk writes are atomic (tempfile + ``os.replace``) and a corrupt/unreadable
+disk tier degrades to an empty cache instead of killing daemon startup.
+
+Beside the record tier sits the **warm-start artifact tier**: persisted
+e-graphs (see :mod:`repro.egraph.serialize`) in a ``<cache>.egraphs/``
+directory, keyed by *family* — the design label + ruleset knobs — rather
+than by exact content digest.  An *edited* design misses the record cache
+(its canonical digest changed) but still finds its family's saturated
+e-graph and warm-starts from it instead of saturating cold.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
+import os
+import tempfile
 from collections import OrderedDict
 from dataclasses import replace
 from pathlib import Path
 from typing import Mapping
 
 from repro.designs.registry import design_roots, get_design
+from repro.egraph.serialize import EGraphFormatError, read_header
 from repro.intervals import IntervalSet
 from repro.ir import ops
 from repro.ir.expr import Expr, subterms
 from repro.pipeline.budget import Budget
-from repro.pipeline.session import Job, RunRecord
+from repro.pipeline.session import (
+    Job,
+    RunRecord,
+    job_schedule_key,
+    resolve_design,
+)
 
 __all__ = [
     "canonical_digest",
     "budget_class",
     "job_cache_key",
+    "job_digest",
+    "schedule_key",
+    "warm_family",
     "ResultCache",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 def _digest(*parts: object) -> str:
@@ -172,19 +195,44 @@ _SCHEDULE_FIELDS = (
     "shards",
     "auto_shard_nodes",
     "budget_policy",
+    "stitch",
 )
+
+def job_digest(job: Job) -> str:
+    """Canonical structural digest of the job's design (source-aware)."""
+    if job.source is not None:
+        roots, input_ranges = resolve_design(job)
+        return canonical_digest(roots, input_ranges)
+    design = get_design(job.design)
+    return canonical_digest(design_roots(job.design), design.input_ranges)
+
+
+#: Digest of the ruleset-selecting knobs — the same key the pipeline's
+#: ``WarmStart``/``SaveEGraph`` stages stamp into artifact headers, so the
+#: service and a direct CLI run agree on artifact compatibility.
+schedule_key = job_schedule_key
+
+
+def warm_family(job: Job) -> str:
+    """Warm-start family: design *label* + ruleset knobs.
+
+    Deliberately label-keyed, not content-keyed — an edited revision of a
+    design keeps its label, so it maps to the same family and finds the
+    previous revision's saturated e-graph.
+    """
+    return _digest("egraph-family", job.design, schedule_key(job))
 
 
 def job_cache_key(job: Job) -> str:
     """Content address of a job: design structure + schedule + budget class.
 
     The design contributes through :func:`canonical_digest` of its
-    elaborated roots (memoized in the registry), so registry aliases of the
-    same structure — or a renamed copy of an existing design — share cache
-    entries.
+    elaborated roots (memoized in the registry for registry designs, or
+    elaborated from ``job.source`` for ad-hoc submissions), so registry
+    aliases of the same structure — or a renamed copy of an existing
+    design — share cache entries.
     """
-    design = get_design(job.design)
-    structure = canonical_digest(design_roots(job.design), design.input_ranges)
+    structure = job_digest(job)
     schedule = tuple(getattr(job, name) for name in _SCHEDULE_FIELDS)
     classes = (budget_class(job.budget), budget_class(job.verify_budget))
     return _digest(structure, schedule, classes)
@@ -246,28 +294,110 @@ class ResultCache:
 
     # ----------------------------------------------------------- disk tier
     def load(self) -> int:
-        """Read the disk tier (if any); returns the number of entries."""
+        """Read the disk tier (if any); returns the number of entries.
+
+        A corrupt or unreadable tier (torn write from a pre-atomic-persist
+        crash, wrong permissions, non-dict payload) is logged and dropped —
+        the daemon starts with an empty cache instead of dying on startup.
+        """
         if self.path is None or not self.path.exists():
             return 0
-        self._disk = json.loads(self.path.read_text())
+        try:
+            loaded = json.loads(self.path.read_text())
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            logger.warning(
+                "result cache %s unreadable (%s); starting empty", self.path, exc
+            )
+            self._disk = {}
+            return 0
+        if not isinstance(loaded, dict):
+            logger.warning(
+                "result cache %s holds %s, expected an object; starting empty",
+                self.path,
+                type(loaded).__name__,
+            )
+            self._disk = {}
+            return 0
+        self._disk = loaded
         return len(self._disk)
 
     def persist(self) -> int:
-        """Write the disk tier; returns the number of entries written."""
+        """Write the disk tier atomically; returns the entry count.
+
+        Memory-tier records overwrite same-key disk entries unconditionally
+        — the in-memory record is always at least as fresh.  The JSON lands
+        via tempfile + ``os.replace`` so a crash mid-write leaves the
+        previous file intact instead of a truncated one.
+        """
         if self.path is None:
             return 0
         for key, record in self._memory.items():
-            self._disk.setdefault(key, record.as_dict())
+            self._disk[key] = record.as_dict()
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(json.dumps(self._disk, sort_keys=True))
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self._disk, handle, sort_keys=True)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return len(self._disk)
+
+    # -------------------------------------------------- warm-start artifacts
+    @property
+    def egraph_dir(self) -> Path | None:
+        """Directory of persisted e-graph artifacts (None when pathless)."""
+        if self.path is None:
+            return None
+        return self.path.parent / (self.path.name + ".egraphs")
+
+    def egraph_path(self, family: str) -> Path | None:
+        """Where the artifact for ``family`` lives (whether or not it exists).
+
+        Artifacts are written by the pipeline's ``SaveEGraph`` stage during
+        the run itself (atomically, file-based — so the tier works across
+        process pools); the cache only hands out paths and validates them.
+        """
+        directory = self.egraph_dir
+        if directory is None:
+            return None
+        return directory / f"{family}.egraph"
+
+    def get_egraph(self, family: str) -> Path | None:
+        """Path to a *valid* artifact for ``family``, else None.
+
+        Validity means the file exists and its header parses at the current
+        format version — cheap (one line of JSON), no unpickling.
+        """
+        path = self.egraph_path(family)
+        if path is None or not path.exists():
+            return None
+        try:
+            read_header(path)
+        except EGraphFormatError as exc:
+            logger.warning("ignoring e-graph artifact %s: %s", path, exc)
+            return None
+        return path
 
     # ------------------------------------------------------------ telemetry
     def stats(self) -> dict:
+        directory = self.egraph_dir
+        artifacts = (
+            len(list(directory.glob("*.egraph")))
+            if directory is not None and directory.is_dir()
+            else 0
+        )
         return {
             "entries": len(self),
             "memory_entries": len(self._memory),
             "disk_entries": len(self._disk),
+            "egraph_artifacts": artifacts,
             "hits": self.hits,
             "misses": self.misses,
         }

@@ -41,7 +41,7 @@ from repro.pipeline.budget import (
     spend_dict,
 )
 from repro.pipeline.session import Job, RunRecord, Session
-from repro.service.cache import ResultCache, job_cache_key
+from repro.service.cache import ResultCache, job_cache_key, warm_family
 from repro.service.events import Event, EventFeed, events_from_record
 
 __all__ = ["TenantShare", "Submission", "OptimizationQueue"]
@@ -282,8 +282,27 @@ class OptimizationQueue:
             budget = draw
         else:
             budget = sub.job.budget.intersect(draw)
-        return replace(
+        job = replace(
             sub.job, budget=budget, budget_policy=self.budget_policy
+        )
+        return self._warm(job)
+
+    def _warm(self, job: Job) -> Job:
+        """Attach the e-graph artifact tier: a cache *miss* (edited design,
+        new limits) still seeds from the design family's persisted graph
+        and refreshes the artifact for the next submission."""
+        if self.cache.egraph_dir is None:
+            return job  # pathless cache: no artifact tier
+        if job.shards > 0 or job.auto_shard_nodes is not None:
+            return job  # warm-start composes with monolithic schedules only
+        if job.warm_start or job.save_egraph:
+            return job  # the submitter pinned explicit artifact paths
+        family = warm_family(job)
+        artifact = self.cache.get_egraph(family)
+        return replace(
+            job,
+            warm_start=str(artifact) if artifact is not None else None,
+            save_egraph=str(self.cache.egraph_path(family)),
         )
 
     def _dispatch(

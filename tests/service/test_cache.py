@@ -189,3 +189,100 @@ class TestResultCache:
         assert hit.nodes == 7 and hit.cache_hit is True
         # The promoted entry now also serves from memory.
         assert reborn.stats()["memory_entries"] == 1
+
+    def test_persist_refreshes_stale_disk_entries(self, tmp_path):
+        """The PR-8 regression: ``persist`` used ``setdefault``, so a
+        same-key record updated in memory never reached disk.  Put, persist,
+        put a fresher record under the same key, persist, reload: the disk
+        tier must serve the fresher record."""
+        path = tmp_path / "cache.json"
+        cache = ResultCache(capacity=4, path=path)
+        cache.put("k", RunRecord(job="j", design="d", nodes=1))
+        assert cache.persist() == 1
+        cache.put("k", RunRecord(job="j", design="d", nodes=2))
+        assert cache.persist() == 1
+
+        reborn = ResultCache(capacity=4, path=path)
+        reborn.load()
+        assert reborn.get("k").nodes == 2
+
+    def test_corrupt_disk_tier_degrades_to_empty(self, tmp_path, caplog):
+        """A torn write (pre-atomic-persist crash) must not kill startup."""
+        path = tmp_path / "cache.json"
+        good = ResultCache(capacity=4, path=path)
+        good.put("k", RunRecord(job="j", design="d"))
+        good.persist()
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+
+        reborn = ResultCache(capacity=4, path=path)
+        with caplog.at_level("WARNING", logger="repro.service.cache"):
+            assert reborn.load() == 0
+        assert "starting empty" in caplog.text
+        assert reborn.get("k") is None
+        # The tier is usable again: persisting rewrites a clean file.
+        reborn.put("k2", RunRecord(job="j2", design="d"))
+        assert reborn.persist() == 1
+        assert ResultCache(capacity=4, path=path).load() == 1
+
+    def test_non_dict_disk_payload_degrades_to_empty(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text('["not", "a", "mapping"]')
+        cache = ResultCache(capacity=4, path=path)
+        assert cache.load() == 0
+        assert cache.get("k") is None
+
+    def test_persist_is_atomic_no_temp_droppings(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache(capacity=4, path=path)
+        cache.put("k", RunRecord(job="j", design="d"))
+        cache.persist()
+        cache.persist()
+        assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+
+
+class TestEGraphArtifactTier:
+    def test_pathless_cache_has_no_artifact_tier(self):
+        cache = ResultCache()
+        assert cache.egraph_dir is None
+        assert cache.egraph_path("fam") is None
+        assert cache.get_egraph("fam") is None
+        assert cache.stats()["egraph_artifacts"] == 0
+
+    def test_artifact_round_trip_through_the_tier(self, tmp_path):
+        from repro.egraph import EGraph, save_egraph
+        from repro.ir import ops
+
+        cache = ResultCache(path=tmp_path / "cache.json")
+        assert cache.get_egraph("fam") is None  # nothing saved yet
+
+        g = EGraph()
+        root = g.add_node(ops.VAR, ("x", 4))
+        g.rebuild()
+        save_egraph(cache.egraph_path("fam"), g, {"out": root})
+        found = cache.get_egraph("fam")
+        assert found == cache.egraph_path("fam")
+        assert cache.stats()["egraph_artifacts"] == 1
+
+    def test_invalid_artifacts_are_ignored_not_fatal(self, tmp_path):
+        cache = ResultCache(path=tmp_path / "cache.json")
+        path = cache.egraph_path("fam")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not an artifact\n")
+        assert cache.get_egraph("fam") is None
+
+    def test_warm_family_is_label_keyed_not_content_keyed(self):
+        from repro.service import warm_family
+
+        base = Job(name="a", design="lzc_example", **FAST)
+        # Same label + schedule: same family, whatever the content will be.
+        assert warm_family(base) == warm_family(replace(base, name="b"))
+        assert warm_family(base) == warm_family(
+            replace(base, source="module m(input x, output y); endmodule")
+        )
+        # Different ruleset knobs: a different family.
+        assert warm_family(base) != warm_family(
+            replace(base, enable_assume=False)
+        )
+        # Exploration limits deliberately do NOT split families: a deeper
+        # saturated graph is still a sound seed.
+        assert warm_family(base) == warm_family(replace(base, iter_limit=9))

@@ -142,6 +142,90 @@ class TestCacheIntegration:
         assert queue.drain()[0].cache_hit is False
 
 
+class TestWarmStartTier:
+    """A cache *miss* with a known design label still warm-starts from the
+    family's persisted e-graph — the second artifact tier beside records."""
+
+    EDITED = """
+module lzc_example (
+  input [7:0] x,
+  input [7:0] y,
+  output [3:0] out,
+  output [8:0] out2
+);
+  wire [8:0] sum = x + y;
+  reg [3:0] lz;
+  always @(*) begin
+    casez (sum)
+      9'b1????????: lz = 0;
+      9'b01???????: lz = 1;
+      9'b001??????: lz = 2;
+      9'b0001?????: lz = 3;
+      9'b00001????: lz = 4;
+      9'b000001???: lz = 5;
+      9'b0000001??: lz = 6;
+      9'b00000001?: lz = 7;
+      9'b000000001: lz = 8;
+      default: lz = 9;
+    endcase
+  end
+  assign out = lz;
+  assign out2 = sum;
+endmodule
+"""
+
+    def _queue(self, tmp_path):
+        return OptimizationQueue(
+            TENANTS, cache=ResultCache(path=tmp_path / "cache.json")
+        )
+
+    def test_first_run_saves_an_artifact(self, tmp_path):
+        queue = self._queue(tmp_path)
+        queue.submit(_job("first"), "team-a")
+        record = queue.drain()[0]
+        assert record.status == "ok"
+        assert record.warm_start == ""  # nothing to seed from yet
+        assert queue.cache.stats()["egraph_artifacts"] == 1
+
+    def test_edited_design_resubmission_warm_starts(self, tmp_path):
+        queue = self._queue(tmp_path)
+        queue.submit(_job("first"), "team-a")
+        assert queue.drain()[0].status == "ok"
+
+        # Edited revision, same label: the record cache misses (the content
+        # digest changed), but the artifact tier hits the family.
+        queue.submit(_job("edited", source=self.EDITED), "team-a")
+        record = queue.drain()[0]
+        assert record.status == "ok"
+        assert record.cache_hit is False
+        assert record.warm_start.startswith("hit:")
+        assert record.warm_start.endswith(":delta")
+
+    def test_pathless_cache_never_attaches_artifacts(self):
+        queue = OptimizationQueue(TENANTS, cache=ResultCache())
+        queue.submit(_job("first"), "team-a")
+        record = queue.drain()[0]
+        assert record.status == "ok" and record.warm_start == ""
+
+    def test_sharded_jobs_bypass_the_warm_tier(self, tmp_path):
+        queue = self._queue(tmp_path)
+        queue.submit(_job("sharded", design="stress_wide", shards=2), "team-a")
+        record = queue.drain()[0]
+        assert record.status == "ok" and record.warm_start == ""
+        assert queue.cache.stats()["egraph_artifacts"] == 0
+
+    def test_explicit_artifact_paths_are_respected(self, tmp_path):
+        queue = self._queue(tmp_path)
+        pinned = tmp_path / "pinned.egraph"
+        queue.submit(_job("pinning", save_egraph=str(pinned)), "team-a")
+        record = queue.drain()[0]
+        assert record.status == "ok"
+        assert pinned.exists()
+        # The queue did not override the submitter's choice with the
+        # family path.
+        assert queue.cache.stats()["egraph_artifacts"] == 0
+
+
 class TestEventFeed:
     def test_executed_job_feed_covers_the_wall(self):
         feed = EventFeed()
