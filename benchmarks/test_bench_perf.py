@@ -8,10 +8,11 @@ tracked across PRs.  ``BENCH_perf.json`` carries interleaved series,
 distinguished by the record's ``job`` field: ``perf:fp_sub`` (the single-
 output hot path), ``perf:stress_wide`` (the 8-output monolithic governed
 run the flat core unlocked), ``perf:fp_sub_warm`` (cold-vs-warm on an
-edited design, pinning the warm-start speedup) and
-``perf:stress_wide_stitch`` (the stitched sharded run closing the
-sharding cost gap); the bench-smoke factor compares each run against the
-previous entry *of the same series*.
+edited design, pinning the warm-start speedup), ``perf:stress_wide_stitch``
+(the stitched sharded run closing the sharding cost gap) and
+``perf:fp_sub_ilp`` (the globally optimal DAG-cost extraction, pinning
+the ilp objective's never-worse-than-greedy win); the bench-smoke factor
+compares each run against the previous entry *of the same series*.
 
 Unlike the paper-figure benches this one is cheap (a few seconds) and runs
 in the default test selection, acting as a regression guard: a change that
@@ -445,3 +446,71 @@ def test_perf_fp_sub_budget_ledger_coverage():
         f"budget ledger covers only {coverage:.1%} of the run's wall — "
         "some stage is spending outside the ledger"
     )
+
+
+def test_perf_fp_sub_ilp():
+    """The ``perf:fp_sub_ilp`` series: globally optimal (DAG-cost)
+    extraction via the governed ILP branch-and-bound, against the greedy
+    objective on every registry design.
+
+    Two claims, both on the DAG metric (shared subterms priced once — the
+    objective the solver optimizes; ``optimized_*`` stay tree costs):
+
+    * the ilp objective is **never worse** than greedy on any design (the
+      stage's adoption gate makes this structural, the bench keeps it
+      honest end-to-end);
+    * it is **strictly better** on at least one (the sharing-heavy designs
+      — fp_sub's duplicated mantissa datapath, stress_wide's reused lanes —
+      are where tree-greedy provably overpays).
+
+    The fp_sub ilp record lands in ``BENCH_perf.json`` so the win and the
+    solver's wall cost are tracked across PRs like every other series.
+    """
+    from repro.synth.cost import default_key
+
+    strict_wins = []
+    ilp_fp_sub = None
+    ilp_wall_fp_sub = 0.0
+    for design in sorted(DESIGNS):
+        greedy = execute_job(
+            Job(name=design, design=design, iter_limit=ITER_LIMIT, verify=False)
+        )
+        t0 = time.perf_counter()
+        ilp = execute_job(
+            Job(
+                name="perf:fp_sub_ilp" if design == "fp_sub" else design,
+                design=design,
+                iter_limit=ITER_LIMIT,
+                verify=False,
+                extract_objective="ilp",
+            )
+        )
+        wall = time.perf_counter() - t0
+        assert greedy.status == "ok", greedy.error
+        assert ilp.status == "ok", ilp.error
+        assert ilp.extract_objective == "ilp"
+        greedy_key = default_key(greedy.dag_delay, greedy.dag_area)
+        ilp_key = default_key(ilp.dag_delay, ilp.dag_area)
+        assert ilp_key <= greedy_key, (
+            f"{design}: ilp DAG cost {ilp_key} worse than greedy {greedy_key}"
+        )
+        if ilp_key < greedy_key:
+            strict_wins.append(design)
+        if design == "fp_sub":
+            ilp_fp_sub, ilp_wall_fp_sub = ilp, wall
+        print(
+            f"\n{design}: greedy dag ({greedy.dag_delay:.1f}, "
+            f"{greedy.dag_area:.1f}) -> ilp ({ilp.dag_delay:.1f}, "
+            f"{ilp.dag_area:.1f}) [{ilp.extract_status}] {wall:.2f}s"
+        )
+
+    assert strict_wins, (
+        "the ilp objective matched greedy everywhere — the DAG-sharing win "
+        "(expected on fp_sub/stress_wide) has regressed to a tie"
+    )
+
+    payload, history = _load_trajectory()
+    entry = ilp_fp_sub.as_dict()
+    entry["wall_s"] = round(ilp_wall_fp_sub, 4)
+    history = _append_entry(payload, history, entry)
+    _smoke_guard(history, "perf:fp_sub_ilp", ilp_wall_fp_sub)

@@ -77,6 +77,7 @@ def _add_optimize_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--no-verify", action="store_true", help="skip equivalence check")
     parser.add_argument("--no-split", action="store_true", help="disable case splitting")
+    _add_objective_argument(parser)
     parser.add_argument(
         "--module-name", default="optimized", help="name of the emitted module"
     )
@@ -97,6 +98,16 @@ def _add_optimize_arguments(parser: argparse.ArgumentParser) -> None:
     )
     _add_budget_arguments(parser)
     _add_shard_arguments(parser)
+
+
+def _add_objective_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--objective", choices=("greedy", "ilp"), default="greedy",
+        help="extraction objective: the classic greedy per-root tree-cost "
+        "extractor, or 'ilp' — the governed branch-and-bound that refines "
+        "the greedy result to DAG-cost optimality (shared subterms priced "
+        "once; monolithic flow only, never worse than greedy)",
+    )
 
 
 def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
@@ -180,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--records", metavar="FILE", help="append JSON run records to this file"
     )
+    _add_objective_argument(bench)
     _add_budget_arguments(bench)
     _add_shard_arguments(bench)
 
@@ -194,6 +206,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--area-weights", default="0,0.002,0.005,0.01,0.02,0.05,0.1",
         metavar="W,W,...", help="area weights (delay weight fixed at 1)",
     )
+
+    pareto = sub.add_parser(
+        "pareto", help="characterize one design's area-delay Pareto front"
+    )
+    pareto.add_argument("design", help="registry design name")
+    pareto.add_argument(
+        "--mode", choices=("epsilon", "weighted"), default="epsilon",
+        help="scalarization: epsilon-constraint (min area s.t. delay <= T "
+        "per target; reaches every Pareto point) or weighted "
+        "(min w*delay + (1-w)*area per weight; supported points only)",
+    )
+    pareto.add_argument(
+        "--points", type=int, default=10, help="targets/weights in the grid"
+    )
+    pareto.add_argument(
+        "--max-evals", type=int, default=400, metavar="N",
+        help="synthesis-evaluation quota; small architecture spaces within "
+        "the quota are enumerated exhaustively (provenance 'optimal')",
+    )
+    pareto.add_argument("--iters", type=int, default=None, help="override iterations")
+    pareto.add_argument("--nodes", type=int, default=None, help="override node limit")
+    _add_objective_argument(pareto)
 
     serve = sub.add_parser("serve", help="run the multi-tenant service daemon")
     serve.add_argument("socket", help="AF_UNIX socket path to listen on")
@@ -281,6 +315,15 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         # Warm-starting seeds one monolithic graph; the auto-shard
         # default must not silently force the sharded flow.
         auto_shard_nodes = None
+    if args.objective == "ilp":
+        if args.shards > 0:
+            raise SystemExit(
+                "error: --objective ilp composes with the monolithic flow "
+                "only (drop --shards)"
+            )
+        # The ILP refinement plans its own per-output cones; the auto-shard
+        # default must not silently force the sharded flow either.
+        auto_shard_nodes = None
     config = OptimizerConfig(
         iter_limit=args.iters,
         node_limit=args.nodes,
@@ -302,6 +345,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         warm_start=args.warm_start,
         save_egraph=args.save_egraph,
         stitch=args.stitch,
+        extract_objective=args.objective,
     )
     tool = DatapathOptimizer(dict(args.ranges), config)
     module = tool.optimize_verilog(source)
@@ -368,8 +412,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             else None
         ),
         shards=args.shards,
-        auto_shard_nodes=args.auto_shard_nodes or None,
+        # An ilp objective runs monolithically (it plans its own per-output
+        # cones), so the auto-shard default must not force the sharded flow.
+        auto_shard_nodes=(
+            None if args.objective == "ilp" else args.auto_shard_nodes or None
+        ),
         shard_parallel=args.shard_parallel,
+        extract_objective=args.objective,
     )
     records = session.run(parallel=args.parallel, max_workers=args.workers)
 
@@ -454,6 +503,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         Extract(key=weighted_key(1.0, weight)).run(ctx)
         cost = ctx.optimized_costs[design.output]
         print(f"{weight:>11.4f} {cost.delay:>8.1f} {cost.area:>10.1f}")
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from repro.designs.registry import get_design
+    from repro.pipeline import Extract, Ingest, Pipeline, Saturate
+    from repro.solve import OptimalExtract, pareto_front
+
+    design = get_design(args.design)
+    iters = args.iters if args.iters is not None else design.iterations
+    nodes = args.nodes if args.nodes is not None else design.node_limit
+    extract = OptimalExtract() if args.objective == "ilp" else Extract()
+    ctx = Pipeline(
+        [
+            Ingest(source=design.verilog),
+            Saturate(iter_limit=iters, node_limit=nodes),
+            extract,
+        ]
+    ).run(input_ranges=design.input_ranges)
+    front = pareto_front(
+        ctx.extracted[design.output],
+        ctx.input_ranges,
+        mode=args.mode,
+        points=args.points,
+        max_evals=args.max_evals,
+    )
+    print(
+        f"{args.design} [{args.objective}]: {front.status} front, "
+        f"{len(front.points)} point(s), {front.evals} synthesis eval(s) "
+        f"over {front.tags} instance(s)",
+        file=sys.stderr,
+    )
+    anchor = "target" if args.mode == "epsilon" else "weight"
+    print(f"{anchor:>8} {'delay':>8} {'area':>10}  provenance")
+    for point in front.points:
+        at = point.target if args.mode == "epsilon" else point.weight
+        at_text = f"{at:>8.3f}" if at is not None else f"{'-':>8}"
+        print(
+            f"{at_text} {point.delay:>8.1f} {point.area:>10.1f}  "
+            f"{point.provenance}"
+        )
     return 0
 
 
@@ -582,6 +672,7 @@ _DISPATCH = {
     "bench": _cmd_bench,
     "report": _cmd_report,
     "sweep": _cmd_sweep,
+    "pareto": _cmd_pareto,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "status": _cmd_status,

@@ -295,6 +295,19 @@ class Extractor:
                     queued.add(parent)
 
     # ---------------------------------------------------------------- queries
+    def selection(self) -> dict[int, ENode]:
+        """Best-so-far e-node choice per costed class (a copy).
+
+        The greedy fixpoint's solution as a flat class -> e-node map: the
+        warm-start incumbent the ILP extraction objective
+        (:mod:`repro.solve`) seeds its branch-and-bound with.  Chains of
+        zero-cost wires can make the raw map cyclic (the same zero-progress
+        cycles :meth:`expr_of` path-guards around), so consumers needing a
+        guaranteed-acyclic selection repair it through
+        :func:`repro.solve.ilp.feasible_selection`.
+        """
+        return {cid: entry[1] for cid, entry in self._best.items()}
+
     def has_cost(self, class_id: int) -> bool:
         """Whether the (possibly truncated) fixpoint costed this class."""
         return self.egraph.find(class_id) in self._best

@@ -97,6 +97,11 @@ class OptimizerConfig:
     #: sharded flow only: re-union the shard e-graphs after the merge and
     #: run a short budgeted stitch saturation to recover cross-cone sharing.
     stitch: bool = False
+    #: extraction objective: ``"greedy"`` (classic per-root tree-cost
+    #: extractor) or ``"ilp"`` (governed branch-and-bound refinement to
+    #: DAG-cost optimality, :class:`repro.solve.extract_opt.OptimalExtract`;
+    #: monolithic flow only).
+    extract_objective: str = "greedy"
     #: extraction objective key (delay, area) -> ordering key.
     extraction_key = staticmethod(default_key)
 
@@ -118,6 +123,7 @@ class OptimizerConfig:
                 split_threshold=self.split_threshold,
                 enable_assume=self.enable_assume,
                 enable_condition=self.enable_condition_rewriting,
+                extract_objective=self.extract_objective,
             )
         )
 
@@ -213,6 +219,14 @@ class DatapathOptimizer:
                     "a custom extraction_key composes with the monolithic "
                     "flow only"
                 )
+            if config.extract_objective != "greedy":
+                # Shards extract inside their worker schedules; the ILP
+                # refinement plans its own per-output cones and would
+                # double-decompose.
+                raise ValueError(
+                    "extract_objective='ilp' composes with the monolithic "
+                    "flow only"
+                )
             stages = [
                 # Parse only: each shard ingests its cone into its own
                 # e-graph, so the monolithic graph would be discarded work.
@@ -286,7 +300,19 @@ class DatapathOptimizer:
         # ASSUME wrappers are kept in the extracted tree: the tree-level
         # range analysis re-derives the constraint refinements from them, so
         # netlist lowering and Verilog emission see the reduced bitwidths.
-        stages.append(Extract(key=config.extraction_key, strip_assumes=False))
+        if config.extract_objective == "ilp":
+            # Runtime import: opt sits below solve in the package DAG.
+            from repro.solve.extract_opt import OptimalExtract
+
+            stages.append(
+                OptimalExtract(key=config.extraction_key, strip_assumes=False)
+            )
+        elif config.extract_objective == "greedy":
+            stages.append(Extract(key=config.extraction_key, strip_assumes=False))
+        else:
+            raise ValueError(
+                f"unknown extract objective: {config.extract_objective!r}"
+            )
         if config.verify:
             stages.append(Verify(strict=True, budget=config.verify_budget))
         return Pipeline(stages)

@@ -44,6 +44,7 @@ from repro.pipeline.stages import (
 )
 from repro.rewrites.rulesets import casesplit_ruleset, compose_rules, ruleset
 from repro.rtl import module_to_ir
+from repro.synth.treecost import dag_cost
 
 
 @dataclass(frozen=True)
@@ -107,6 +108,15 @@ class Job:
     #: into one graph and run a short budgeted stitch saturation to recover
     #: the cross-cone sharing per-output shards give up.
     stitch: bool = False
+    #: Extraction objective: ``"greedy"`` (the classic per-root tree-cost
+    #: extractor) or ``"ilp"`` (:class:`repro.solve.extract_opt.OptimalExtract`
+    #: — greedy warm start refined to DAG-cost optimality by the governed
+    #: branch-and-bound; monolithic schedules only).
+    extract_objective: str = "greedy"
+    #: Pareto-front characterization after extraction: ``""`` (off),
+    #: ``"epsilon"`` or ``"weighted"`` (see :mod:`repro.solve.pareto`;
+    #: monolithic schedules only).
+    pareto: str = ""
 
 
 #: Job knobs that select *which rewrites run* — the compatibility contract
@@ -119,6 +129,12 @@ _RULESET_FIELDS = (
     "split_threshold",
     "phases",
     "phase_iters",
+    # The extraction objective does not change the saturated e-graph, but a
+    # persisted artifact's provenance should say which objective its runs
+    # were measured under — crossing greedy-schedule artifacts into ilp runs
+    # (and vice versa) silently mixes bench series, so the key separates
+    # them.
+    "extract_objective",
 )
 
 
@@ -226,6 +242,17 @@ class RunRecord:
     warm_start: str = ""
     #: Stitch-phase provenance (``""`` when the phase didn't run).
     stitch: str = ""
+    #: Which extraction objective produced the result: "greedy" | "ilp"
+    #: (empty for pre-solver records — ``from_dict`` defaults it).
+    extract_objective: str = ""
+    #: Pareto-characterization summary ("mode:status:points", "" when the
+    #: stage didn't run).
+    pareto: str = ""
+    #: DAG cost of the condensed output (shared subterms priced once) — the
+    #: objective the ILP extractor optimizes; ``optimized_delay``/``area``
+    #: stay the legacy tree costs.  0.0 for pre-solver records.
+    dag_delay: float = 0.0
+    dag_area: float = 0.0
     error: str | None = None
 
     # -------------------------------------------------------- serialization
@@ -256,6 +283,14 @@ def job_stages(job: Job, design) -> list[Stage]:
         raise ValueError("warm-start composes with monolithic schedules only")
     if job.stitch and not sharding:
         raise ValueError("stitch requires a sharded schedule")
+    if job.extract_objective not in ("greedy", "ilp"):
+        raise ValueError(f"unknown extract objective: {job.extract_objective!r}")
+    if sharding and job.extract_objective != "greedy":
+        # Shards extract inside their worker schedules; the ILP refinement
+        # plans its own per-output cones and would double-decompose.
+        raise ValueError("extract_objective='ilp' composes with monolithic schedules only")
+    if sharding and job.pareto:
+        raise ValueError("pareto composes with monolithic schedules only")
     warm = job.warm_start is not None
     stages: list[Stage] = [
         Ingest(source=design.verilog, seed_egraph=not (sharding or warm))
@@ -330,7 +365,18 @@ def job_stages(job: Job, design) -> list[Stage]:
         )
     if job.save_egraph:
         stages.append(SaveEGraph(job.save_egraph, schedule=job_schedule_key(job)))
-    stages.append(Extract())
+    if job.extract_objective == "ilp":
+        # Runtime import: pipeline sits below solve in the package DAG
+        # (same discipline as WarmStart -> service.cache).
+        from repro.solve.extract_opt import OptimalExtract
+
+        stages.append(OptimalExtract())
+    else:
+        stages.append(Extract())
+    if job.pareto:
+        from repro.solve.pareto import ParetoSweep
+
+        stages.append(ParetoSweep(mode=job.pareto))
     if job.verify:
         stages.append(Verify(budget=job.verify_budget))
     return stages
@@ -382,6 +428,14 @@ def record_from_context(
     extract_statuses.update(
         r.extract_status for r in ctx.shard_results if r.extract_status
     )
+    dag_delay = dag_area = 0.0
+    extracted = ctx.extracted.get(output)
+    if extracted is not None:
+        try:
+            dag = dag_cost(extracted, ctx.input_ranges)
+            dag_delay, dag_area = dag.delay, dag.area
+        except RecursionError:  # pathological depth: keep the record usable
+            pass
     return RunRecord(
         job=job_name,
         design=design_name,
@@ -409,6 +463,12 @@ def record_from_context(
         verify_method=verdict.method if verdict is not None else "",
         warm_start=str(ctx.artifacts.get("warm_start", "")),
         stitch=str(ctx.artifacts.get("stitch_status", "")),
+        extract_objective=str(ctx.artifacts.get("extract_objective", "")),
+        pareto=str(ctx.artifacts.get("pareto", {}).get("summary", ""))
+        if isinstance(ctx.artifacts.get("pareto"), dict)
+        else "",
+        dag_delay=dag_delay,
+        dag_area=dag_area,
     )
 
 

@@ -416,6 +416,10 @@ class Extract:
     ) -> None:
         self.key = key if key is not None else default_key
         self.strip_assumes = strip_assumes
+        #: The most recent run's extractor — the greedy solution an ILP
+        #: refinement (:class:`repro.solve.extract_opt.OptimalExtract`)
+        #: warm-starts from, and a test observation point.
+        self._extractor: Extractor | None = None
         if label is not None:
             self.name = label
 
@@ -480,10 +484,14 @@ class Extract:
                         root_status[name] = "fallback"
                 ctx.extracted[name] = optimized
                 ctx.optimized_costs[name] = cost
+            # Objective provenance for the run record; an ILP refinement
+            # stage overwrites this after its solve.
+            ctx.artifacts.setdefault("extract_objective", "greedy")
         finally:
             # Charge even on a raising path (same contract as Verify), so
             # a failed run's error record still shows where the time went.
             elapsed = clock() - started
+            self._extractor = extractor
             if extractor is not None:
                 ctx.extract_reports.append(
                     ExtractReport(

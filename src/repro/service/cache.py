@@ -196,6 +196,12 @@ _SCHEDULE_FIELDS = (
     "auto_shard_nodes",
     "budget_policy",
     "stitch",
+    # The extraction objective and Pareto mode change what the run *returns*
+    # (the extracted design / the pareto artifact), so a greedy record must
+    # never satisfy an ilp request — the solver subsystem's cache-correctness
+    # contract.
+    "extract_objective",
+    "pareto",
 )
 
 def job_digest(job: Job) -> str:

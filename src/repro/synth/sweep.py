@@ -105,39 +105,22 @@ def area_delay_sweep(
 
     Returns one :class:`SynthesisPoint` per target — the Figure 3 series.
 
-    The series is area-monotone by construction: a looser target may always
-    reuse a tighter target's implementation (it meets the looser target a
-    fortiori), so the best implementation found so far is carried across the
-    sweep and substituted whenever a fresh greedy run comes back costlier.
-    Without this prefix-min the greedy critical-path upgrader could return
-    a *larger* netlist at a looser target — upgrade order depends on which
-    instance is critical, and a different upgrade path can land on a config
-    that is slower *and* bigger than one already found (the historical
-    non-monotone point in the Figure 3 regeneration).
+    Since the Pareto subsystem landed this is a thin wrapper over
+    :func:`repro.solve.pareto.sweep_points` (imported lazily — ``solve``
+    sits above ``synth`` in the package DAG).  The engine replays the same
+    greedy critical-path upgrader through a memoized architecture space, so
+    the series keeps the legacy guarantees — same target grid, ``met``
+    honesty, prefix-min area-monotonicity (a looser target may always reuse
+    a tighter target's implementation, so no point is larger than an
+    earlier one; the historical non-monotone Figure 3 point) — and may only
+    *improve*: when the shared space knows a cheaper configuration meeting
+    a target (exhaustive enumeration on small designs, cross-target
+    memoization on large ones), it is substituted in.  For the front itself
+    — per-point provenance, dominance filtering, weighted mode — use
+    :func:`repro.solve.pareto.pareto_front` directly.
     """
-    floor = min_delay_point(expr, input_ranges)
-    top = floor.delay * slack_factor
-    targets = [
-        floor.delay + (top - floor.delay) * i / max(points - 1, 1)
-        for i in range(points)
-    ]
-    points_out: list[SynthesisPoint] = []
-    best: SynthesisPoint | None = None  # smallest-area implementation so far
-    for target in targets:
-        point = synthesize_at(expr, target, input_ranges)
-        if (
-            best is not None
-            and best.delay <= target
-            and best.area < point.area
-        ):
-            point = SynthesisPoint(
-                target=target,
-                delay=best.delay,
-                area=best.area,
-                met=True,
-                arch_choices=dict(best.arch_choices),
-            )
-        if best is None or (point.area, point.delay) < (best.area, best.delay):
-            best = point
-        points_out.append(point)
-    return points_out
+    from repro.solve.pareto import sweep_points
+
+    return sweep_points(
+        expr, input_ranges, points=points, slack_factor=slack_factor
+    )

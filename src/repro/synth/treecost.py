@@ -94,6 +94,83 @@ def model_cost(
     return DelayArea(delay, area, lexicographic_key(delay, area))
 
 
+def dag_cost(
+    expr: Expr, input_ranges: Mapping[str, IntervalSet] | None = None
+) -> DelayArea:
+    """Section IV-D model cost of the expression priced as a *DAG*.
+
+    :func:`model_cost` prices the tree: a subterm shared by two parents
+    contributes its area once per parent — the right reading when each
+    parent instantiates its own hardware, and the objective the greedy
+    extractor optimizes per root.  This function prices the shared
+    implementation instead: every distinct hardware subterm contributes its
+    own area exactly once (delay is identical — a shared node has one
+    arrival time either way).  This is the objective of the ILP extraction
+    in :mod:`repro.solve` and the metric its never-worse-than-greedy
+    guarantee is stated in.
+
+    Folding matches :func:`model_cost`: a total singleton-range subterm is
+    a free constant (and its children are not descended into — they fold
+    away with it), an ``ASSUME`` is a wire over its guarded child whose
+    constraint children never contribute hardware.
+    """
+    ranges = expr_ranges(expr, input_ranges)
+    totals = expr_totals(expr, ranges)
+    #: node -> arrival delay of its output (hardware-reachable nodes only).
+    delay_memo: dict[Expr, float] = {}
+    #: nodes whose (node, True) completion entry is already on the stack —
+    #: without this, a duplicated child (``x + x``) or a diamond would push
+    #: a second completion entry and its area would accumulate twice.
+    expanded: set[Expr] = set()
+    area_total = 0.0
+
+    stack: list[tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, ready = stack.pop()
+        if not ready and (node in delay_memo or node in expanded):
+            continue
+        if totals[node] and ranges[node].as_point() is not None:
+            delay_memo[node] = 0.0  # folds to a literal constant (free)
+            continue
+        if node.op is ops.ASSUME:
+            guarded = node.children[0]
+            if ranges[node].as_point() is not None and totals[guarded]:
+                delay_memo[node] = 0.0  # partial fold (see model_cost)
+            elif not ready:
+                expanded.add(node)
+                stack.append((node, True))
+                # A wire: only the guarded child is hardware; constraint
+                # children describe the assumption, they are never built.
+                stack.append((guarded, False))
+            else:
+                delay_memo[node] = delay_memo[guarded]
+            continue
+        if not ready:
+            expanded.add(node)
+            stack.append((node, True))
+            stack.extend(
+                (c, False) for c in node.children if c not in delay_memo
+            )
+            continue
+        kids = node.children
+        consts = [False] * len(kids)
+        for position in CONST_HINT_POSITIONS.get(node.op, ()):
+            child = kids[position]
+            consts[position] = (
+                totals[child] and ranges[child].as_point() is not None
+            )
+        own_delay, own_area = operator_model(
+            node.op, ranges[node], [ranges[c] for c in kids], consts
+        )
+        delay_memo[node] = own_delay + max(
+            (delay_memo[c] for c in kids), default=0.0
+        )
+        area_total += own_area  # once per distinct node: the DAG reading
+
+    delay = delay_memo[expr]
+    return DelayArea(delay, area_total, lexicographic_key(delay, area_total))
+
+
 def egraph_model_cost(
     expr: Expr, input_ranges: Mapping[str, IntervalSet] | None = None
 ) -> DelayArea:

@@ -25,6 +25,9 @@ ENTRY_POINTS = [
     "repro.opt",
     "repro.opt.report",
     "repro.synth.treecost",
+    "repro.solve",
+    "repro.solve.extract_opt",
+    "repro.synth.sweep",
     "repro.cli",
 ]
 
