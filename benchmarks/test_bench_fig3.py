@@ -79,5 +79,5 @@ def test_fig3_monotonicity():
     state = _sweeps()
     for name in ("behavioural", "tool", "dual-path"):
         areas = [p.area for p in state[name]]
-        for tight, loose in zip(areas, areas[1:]):
+        for tight, loose in zip(areas, areas[1:], strict=False):
             assert loose <= tight + 1e-6

@@ -42,7 +42,7 @@ def main() -> None:
         )
 
     # Dominance-free: delay strictly rises, area strictly falls.
-    for earlier, later in zip(front.points, front.points[1:]):
+    for earlier, later in zip(front.points, front.points[1:], strict=False):
         assert earlier.delay < later.delay, (earlier, later)
         assert earlier.area > later.area, (earlier, later)
 

@@ -295,6 +295,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--shutdown", action="store_true",
         help="ask the daemon to drain its backlog, persist the cache, exit",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: rule soundness, architecture, concurrency",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="findings output format (default: text)",
+    )
+    lint.add_argument(
+        "--only", default=None, metavar="A,B,...",
+        help="comma-separated analyzer subset (rules, arch, concurrency; "
+        "default: all)",
+    )
+    lint.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="package root to analyze (default: the installed repro package)",
+    )
     return parser
 
 
@@ -667,6 +685,15 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import run_lint
+
+    only = tuple(args.only.split(",")) if args.only else None
+    report = run_lint(root=args.root, only=only)
+    print(report.render(args.format))
+    return report.exit_code
+
+
 _DISPATCH = {
     "optimize": _cmd_optimize,
     "bench": _cmd_bench,
@@ -676,6 +703,7 @@ _DISPATCH = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "status": _cmd_status,
+    "lint": _cmd_lint,
 }
 
 #: Derived, so the legacy-alias check in ``main`` can never drift from the

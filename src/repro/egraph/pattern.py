@@ -172,7 +172,7 @@ def pattern_vars(pattern: Pattern) -> set[str]:
 def _match_attrs(pattern: PatternNode, enode: ENode, env: dict) -> dict | None:
     """Unify the attribute tuples; returns the extended env or None."""
     new_env = env
-    for pat_a, node_a in zip(pattern.attrs, enode.attrs):
+    for pat_a, node_a in zip(pattern.attrs, enode.attrs, strict=True):
         if isinstance(pat_a, AttrVar):
             bound = new_env.get(pat_a.name, _UNSET)
             if bound is _UNSET:

@@ -201,7 +201,7 @@ def exhaustive_envs(widths: Mapping[str, int]) -> Iterator[dict[str, int]]:
         count *= t
     index = [0] * len(names)
     for _ in range(count):
-        yield dict(zip(names, index))
+        yield dict(zip(names, index, strict=True))
         for i in range(len(names)):
             index[i] += 1
             if index[i] < totals[i]:

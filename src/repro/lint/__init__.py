@@ -1,0 +1,81 @@
+"""``repro.lint``: static analysis gating the repo's own invariants.
+
+Three analyzers behind one :func:`run_lint` entry (and the
+``python -m repro lint`` CLI):
+
+* ``rules`` — soundness audit of every rewrite in ``RULESETS``
+  (:mod:`repro.lint.rules`);
+* ``arch`` — layer map, stdlib policy, injectable clocks, shared-state
+  globals (:mod:`repro.lint.arch`);
+* ``concurrency`` — worker-reachable writes to module state
+  (:mod:`repro.lint.concurrency`).
+
+Findings carry stable ids (``<rule-id>@<anchor>``) and may be waived
+inline with ``# lint: ok(<rule-id>): <reason>`` — reason-less or unused
+waivers are themselves findings, so the suppression ledger stays honest.
+"""
+
+from __future__ import annotations
+
+from repro.lint.model import (
+    Finding,
+    Report,
+    SourceTree,
+    apply_suppressions,
+    load_source_tree,
+    scan_suppressions,
+)
+
+#: Analyzer names accepted by ``run_lint(only=...)`` / ``repro lint --only``.
+ANALYZERS: tuple[str, ...] = ("rules", "arch", "concurrency")
+
+
+def run_lint(
+    root=None,
+    only: "tuple[str, ...] | None" = None,
+    tree: "SourceTree | None" = None,
+) -> Report:
+    """Run the selected analyzers and fold in inline suppressions."""
+    selected = ANALYZERS if not only else tuple(only)
+    unknown = set(selected) - set(ANALYZERS)
+    if unknown:
+        raise ValueError(f"unknown analyzer(s): {sorted(unknown)}")
+
+    if tree is None:
+        tree = load_source_tree(root)
+
+    findings: list[Finding] = []
+    audit: list[dict] = []
+    checked: dict = {"modules": len(tree.modules)}
+
+    if "rules" in selected:
+        from repro.lint.rules import audit_rulesets
+
+        rule_findings, audit = audit_rulesets()
+        findings += rule_findings
+        checked["rules"] = len(audit)
+        checked["rules_proved"] = sum(
+            1 for r in audit if r.get("status") == "proved"
+        )
+    if "arch" in selected:
+        from repro.lint.arch import check_arch
+
+        findings += check_arch(tree)
+    if "concurrency" in selected:
+        from repro.lint.concurrency import check_concurrency
+
+        findings += check_concurrency(tree)
+
+    suppressions = [s for module in tree for s in scan_suppressions(module)]
+    findings = apply_suppressions(findings, suppressions)
+    checked["suppressions"] = len(suppressions)
+    return Report(findings, audit=audit, checked=checked)
+
+
+__all__ = [
+    "ANALYZERS",
+    "Finding",
+    "Report",
+    "SourceTree",
+    "run_lint",
+]

@@ -1,0 +1,254 @@
+"""Finding/suppression model shared by every ``repro.lint`` analyzer.
+
+A :class:`Finding` is one reason-coded defect with a *stable id*: the
+``rule_id`` names the check (``AR-CLOCK``, ``RU-UNSOUND``, ...) and the
+``anchor`` names the *semantic* location — module plus enclosing qualname
+(or ruleset/rule name), never a line number — so ids survive unrelated
+edits above the finding.  Line numbers are carried separately for display
+and for matching inline suppressions.
+
+Suppressions are inline comments::
+
+    deadline = time.monotonic() + timeout  # lint: ok(<rule-id>): <reason>
+
+A suppression must carry a reason and must match a finding on its line;
+a reason-less or unused suppression is itself a finding (``LINT-SUPPRESS``
+/ ``LINT-UNUSED``), so dead waivers cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+#: Rule ids for defects in the suppression mechanism itself.
+SUPPRESS_NO_REASON = "LINT-SUPPRESS"
+SUPPRESS_UNUSED = "LINT-UNUSED"
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ok\(([A-Z][A-Z0-9-]*)\)(?::\s*(\S.*))?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reason-coded lint defect."""
+
+    rule_id: str
+    anchor: str
+    message: str
+    module: str = ""
+    path: str = ""
+    line: int | None = None
+    detail: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def fid(self) -> str:
+        """Stable finding id: ``rule@anchor``."""
+        return f"{self.rule_id}@{self.anchor}"
+
+    def as_dict(self) -> dict:
+        out = {
+            "id": self.fid,
+            "rule": self.rule_id,
+            "anchor": self.anchor,
+            "message": self.message,
+        }
+        if self.module:
+            out["module"] = self.module
+        if self.path:
+            out["path"] = self.path
+        if self.line is not None:
+            out["line"] = self.line
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+@dataclass
+class Suppression:
+    """One inline ``# lint: ok(<rule-id>): <reason>`` waiver."""
+
+    rule_id: str
+    reason: str
+    module: str
+    path: str
+    line: int
+    used: bool = False
+
+
+@dataclass(frozen=True)
+class SourceModule:
+    """One parsed module the tree analyzers walk."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+
+    @property
+    def lines(self) -> list[str]:
+        return self.source.splitlines()
+
+
+class SourceTree:
+    """Module name -> :class:`SourceModule`, the analyzers' input.
+
+    Built from the real package via :func:`load_source_tree`, or
+    synthesized from ``{name: source}`` dicts in tests via
+    :meth:`from_sources`.
+    """
+
+    def __init__(self, modules: Iterable[SourceModule]) -> None:
+        self.modules: dict[str, SourceModule] = {m.name: m for m in modules}
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, str]) -> "SourceTree":
+        return cls(
+            SourceModule(name, f"<synthetic:{name}>", text, ast.parse(text))
+            for name, text in sources.items()
+        )
+
+    def __iter__(self):
+        return iter(self.modules.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.modules
+
+    def get(self, name: str) -> SourceModule | None:
+        return self.modules.get(name)
+
+
+def load_source_tree(root: "str | Path | None" = None) -> SourceTree:
+    """Parse the installed ``repro`` package (or any package root)."""
+    if root is None:
+        import repro  # lint: ok(AR-LAYER): the linter locates the package it audits; resolved lazily and only for the default root
+
+        root = Path(repro.__file__).parent
+    root = Path(root)
+    pkg = root.name
+    modules = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).with_suffix("")
+        parts = (pkg, *rel.parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        name = ".".join(parts)
+        source = path.read_text()
+        modules.append(SourceModule(name, str(path), source, ast.parse(source)))
+    return SourceTree(modules)
+
+
+# ---------------------------------------------------------------- suppressions
+def scan_suppressions(module: SourceModule) -> list[Suppression]:
+    """Every inline waiver in the module, in line order."""
+    found = []
+    for lineno, text in enumerate(module.lines, start=1):
+        for match in _SUPPRESS_RE.finditer(text):
+            found.append(
+                Suppression(
+                    rule_id=match.group(1),
+                    reason=(match.group(2) or "").strip(),
+                    module=module.name,
+                    path=module.path,
+                    line=lineno,
+                )
+            )
+    return found
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: list[Suppression]
+) -> list[Finding]:
+    """Drop findings waived on their own line; flag bad waivers.
+
+    Returns the surviving findings plus ``LINT-SUPPRESS`` (reason missing)
+    and ``LINT-UNUSED`` (waiver matched nothing) findings.  A reason-less
+    suppression never waives anything — the reason *is* the audit trail.
+    """
+    by_site: dict[tuple[str, str, int], list[Suppression]] = {}
+    for sup in suppressions:
+        if sup.reason:
+            by_site.setdefault((sup.module, sup.rule_id, sup.line), []).append(sup)
+
+    surviving = []
+    for finding in findings:
+        matched = None
+        if finding.line is not None:
+            matched = by_site.get((finding.module, finding.rule_id, finding.line))
+        if matched:
+            for sup in matched:
+                sup.used = True
+        else:
+            surviving.append(finding)
+
+    for sup in suppressions:
+        anchor = f"{sup.module}:{sup.rule_id}"
+        if not sup.reason:
+            surviving.append(
+                Finding(
+                    SUPPRESS_NO_REASON,
+                    anchor,
+                    f"suppression of {sup.rule_id} has no reason "
+                    "(write `# lint: ok(<rule-id>): <why>`)",
+                    module=sup.module,
+                    path=sup.path,
+                    line=sup.line,
+                )
+            )
+        elif not sup.used:
+            surviving.append(
+                Finding(
+                    SUPPRESS_UNUSED,
+                    anchor,
+                    f"suppression of {sup.rule_id} matches no finding on its "
+                    "line — remove it (or it will hide a future regression)",
+                    module=sup.module,
+                    path=sup.path,
+                    line=sup.line,
+                )
+            )
+    return surviving
+
+
+# ------------------------------------------------------------------- rendering
+@dataclass
+class Report:
+    """One full lint run: surviving findings + per-rule audit evidence."""
+
+    findings: list[Finding]
+    audit: list[dict] = field(default_factory=list)
+    checked: dict = field(default_factory=dict)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def as_dict(self) -> dict:
+        return {
+            "version": 1,
+            "clean": not self.findings,
+            "findings": [f.as_dict() for f in self.findings],
+            "audit": self.audit,
+            "checked": self.checked,
+        }
+
+    def render(self, fmt: str = "text") -> str:
+        if fmt == "json":
+            return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+        lines = []
+        for f in sorted(self.findings, key=lambda f: (f.rule_id, f.anchor)):
+            where = f.path or f.module
+            if f.line is not None:
+                where = f"{where}:{f.line}"
+            lines.append(f"{f.fid}\n  {where}\n  {f.message}")
+        summary = (
+            f"{len(self.findings)} finding(s)" if self.findings else "clean"
+        )
+        counts = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.checked.items()) if v
+        )
+        lines.append(f"repro lint: {summary}" + (f" ({counts})" if counts else ""))
+        return "\n".join(lines)

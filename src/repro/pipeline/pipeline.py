@@ -68,15 +68,16 @@ class Pipeline:
             ctx.governor = ResourceGovernor(
                 budget, clock=clock, policy=budget_policy
             )
+        timer = clock if clock is not None else time.perf_counter
         for stage in self.stages:
-            started = time.perf_counter()
+            started = timer()
             try:
                 stage.run(ctx)
             finally:
                 # Record the timing even when the stage raises (a strict
                 # Verify failure, an engine error): failed runs must stay
                 # diagnosable from the run-record trajectory format.
-                elapsed = time.perf_counter() - started
+                elapsed = timer() - started
                 ctx.timings.append((stage.name, elapsed))
                 if ctx.governor is not None and not getattr(
                     stage, "self_charging", False

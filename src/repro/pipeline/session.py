@@ -368,13 +368,13 @@ def job_stages(job: Job, design) -> list[Stage]:
     if job.extract_objective == "ilp":
         # Runtime import: pipeline sits below solve in the package DAG
         # (same discipline as WarmStart -> service.cache).
-        from repro.solve.extract_opt import OptimalExtract
+        from repro.solve.extract_opt import OptimalExtract  # lint: ok(AR-LAYER): solve layers above pipeline; ILP extraction is an opt-in stage resolved at job-build time
 
         stages.append(OptimalExtract())
     else:
         stages.append(Extract())
     if job.pareto:
-        from repro.solve.pareto import ParetoSweep
+        from repro.solve.pareto import ParetoSweep  # lint: ok(AR-LAYER): solve layers above pipeline; Pareto sweep is an opt-in stage resolved at job-build time
 
         stages.append(ParetoSweep(mode=job.pareto))
     if job.verify:
@@ -530,12 +530,15 @@ class Session:
         max_workers: int | None = None,
         budget: Budget | None = None,
         budget_policy: str = "adaptive",
+        clock=None,
     ) -> None:
         self.jobs: list[Job] = list(jobs)
         self.parallel = parallel
         self.max_workers = max_workers
         self.budget = budget
         self.budget_policy = budget_policy
+        # Injectable monotonic clock for deterministic budget-ledger tests.
+        self.clock = clock if clock is not None else time.monotonic
 
     # ------------------------------------------------------------- building
     def add(self, job: Job | None = None, /, **kwargs) -> Job:
@@ -599,11 +602,11 @@ class Session:
         weights = [1.0] * len(self.jobs)
         if use_parallel and len(self.jobs) > 1:
             children = concurrent_children(
-                self.budget, weights, allocator, time.monotonic()
+                self.budget, weights, allocator, self.clock()
             )
             jobs = [
                 replace(job, budget=self._ceiling(job, child))
-                for job, child in zip(self.jobs, children)
+                for job, child in zip(self.jobs, children, strict=True)
             ]
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(execute_job, jobs))

@@ -192,18 +192,20 @@ def shard_pipeline_stages(
     return stages
 
 
-def run_shard_task(task: ShardTask) -> ShardResult:
+def run_shard_task(task: ShardTask, clock=None) -> ShardResult:
     """Run one shard to a result.  Top-level so process pools can pickle it.
 
     A budgeted task runs its whole pipeline under its own
     :class:`~repro.pipeline.budget.ResourceGovernor`, so the shard's
     *extraction* draws from the shard's pool share too (the anytime
     extractor races the shard's deadline and checkpoints on expiry),
-    instead of only saturation being governed.
+    instead of only saturation being governed.  ``clock`` injects a fake
+    wall clock for deterministic ledger tests; pool dispatch omits it.
     """
     from repro.pipeline.pipeline import Pipeline  # package-import cycle
 
-    started = time.perf_counter()
+    timer = clock if clock is not None else time.perf_counter
+    started = timer()
     splits = sliced_splits(task.schedule.splits, task.shard)
     ctx = Pipeline(
         [
@@ -214,8 +216,9 @@ def run_shard_task(task: ShardTask) -> ShardResult:
         input_ranges=task.shard.input_ranges,
         budget=task.budget,
         budget_policy=task.schedule.budget_policy,
+        clock=clock,
     )
-    wall = time.perf_counter() - started
+    wall = timer() - started
     if ctx.governor is not None:
         governor = ctx.governor
         ledger = {
@@ -400,7 +403,7 @@ class Shard:
             children = concurrent_children(parent, weights, allocator, clock())
             budgeted = [
                 replace(task, budget=child)
-                for task, child in zip(tasks, children)
+                for task, child in zip(tasks, children, strict=True)
             ]
         try:
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:

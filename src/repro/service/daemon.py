@@ -229,10 +229,16 @@ def wait_for_result(
     ticket: int,
     timeout: float = 120.0,
     poll_s: float = 0.05,
+    clock=None,
 ) -> RunRecord:
-    """Poll ``result`` until the ticket finishes; returns the record."""
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
+    """Poll ``result`` until the ticket finishes; returns the record.
+
+    ``clock`` injects a fake monotonic clock so timeout behaviour is
+    testable without waiting out the deadline.
+    """
+    now = clock if clock is not None else time.monotonic
+    deadline = now() + timeout
+    while now() < deadline:
         reply = request(socket_path, {"op": "result", "ticket": ticket})
         if not reply.get("ok"):
             raise RuntimeError(reply.get("error", "result poll failed"))

@@ -183,7 +183,7 @@ class OptimizationQueue:
             )
         self.accounts = {
             share.name: _TenantAccount(share, ceiling)
-            for share, ceiling in zip(tenants, ceilings)
+            for share, ceiling in zip(tenants, ceilings, strict=True)
         }
         self.submissions: list[Submission] = []
         # submit() is called from the daemon's accept thread while the
@@ -317,7 +317,9 @@ class OptimizationQueue:
             max_workers=self.max_workers,
         )
         records = []
-        for sub, record in zip([s for s, _ in executed], session.run()):
+        for sub, record in zip(
+            [s for s, _ in executed], session.run(), strict=True
+        ):
             record.tenant = sub.tenant
             record.queue_wait_s = round(sub.dispatched_at - sub.submitted_at, 6)
             account = self.accounts[sub.tenant]

@@ -234,7 +234,7 @@ def feasible_selection(
     for cid, members in candidates.items():
         order = sorted(
             range(len(members)),
-            key=lambda i: (members[i].delay, members[i].area, i),
+            key=lambda i, members=members: (members[i].delay, members[i].area, i),
         )
         liked = prefer.get(cid)
         if liked is not None:

@@ -293,7 +293,7 @@ def _explore(space: _Space, targets: list[float]) -> str:
         for assignment in itertools.product(ADDER_ARCHS, repeat=len(space.tags)):
             choices = {
                 tag: arch
-                for tag, arch in zip(space.tags, assignment)
+                for tag, arch in zip(space.tags, assignment, strict=True)
                 if arch != _DEFAULT_ARCH
             }
             if space.measure(choices) is None:
@@ -368,7 +368,7 @@ def pareto_front(
         for weight in grid:
             best = min(
                 configs,
-                key=lambda c: (
+                key=lambda c, weight=weight: (
                     weight * c.delay / delay_scale
                     + (1.0 - weight) * c.area / area_scale,
                     c.delay,

@@ -32,7 +32,7 @@ def ripple_adder(
     if len(a) != len(b):
         raise ValueError("ripple_adder: width mismatch")
     out, carry = [], cin
-    for bit_a, bit_b in zip(a, b):
+    for bit_a, bit_b in zip(a, b, strict=True):
         total, carry = full_adder(nl, bit_a, bit_b, carry)
         out.append(total)
     return out, carry
@@ -47,8 +47,8 @@ def sklansky_adder(
     width = len(a)
     if width == 0:
         return [], cin
-    propagate = [nl.g_xor(x, y) for x, y in zip(a, b)]
-    generate = [nl.g_and(x, y) for x, y in zip(a, b)]
+    propagate = [nl.g_xor(x, y) for x, y in zip(a, b, strict=True)]
+    generate = [nl.g_and(x, y) for x, y in zip(a, b, strict=True)]
 
     # Prefix combine: (g, p) pairs; span doubles each level.
     g = list(generate)
@@ -89,7 +89,9 @@ def carry_select_adder(
             continue
         sum0, carry0 = ripple_adder(nl, chunk_a, chunk_b, nl.zero)
         sum1, carry1 = ripple_adder(nl, chunk_a, chunk_b, nl.one)
-        out.extend(nl.g_mux(carry, s1, s0) for s0, s1 in zip(sum0, sum1))
+        out.extend(
+            nl.g_mux(carry, s1, s0) for s0, s1 in zip(sum0, sum1, strict=True)
+        )
         carry = nl.g_mux(carry, carry1, carry0)
     return out, carry
 
@@ -134,7 +136,7 @@ def less_than(
 
 def equal(nl: Netlist, a: list[int], b: list[int]) -> int:
     """1-bit ``a == b``; operands must share a width."""
-    diffs = [nl.g_xor(x, y) for x, y in zip(a, b)]
+    diffs = [nl.g_xor(x, y) for x, y in zip(a, b, strict=True)]
     if not diffs:
         return nl.one
     return nl.g_not(nl.reduce("OR", diffs))
@@ -152,7 +154,7 @@ def mux_word(nl: Netlist, sel: int, when1: list[int], when0: list[int]) -> list[
     """Word-wide 2:1 mux; operands must share a width."""
     if len(when1) != len(when0):
         raise ValueError("mux_word: width mismatch")
-    return [nl.g_mux(sel, x, y) for x, y in zip(when1, when0)]
+    return [nl.g_mux(sel, x, y) for x, y in zip(when1, when0, strict=True)]
 
 
 # ------------------------------------------------------------------ shifters
@@ -201,7 +203,10 @@ def lzc_tree(nl: Netlist, value: list[int], out_width: int) -> list[int]:
         count_hi, zero_hi = rec(msb_first[:half])
         count_lo, zero_lo = rec(msb_first[half:])
         zero = nl.g_and(zero_hi, zero_lo)
-        merged = [nl.g_mux(zero_hi, lo, hi) for lo, hi in zip(count_lo, count_hi)]
+        merged = [
+            nl.g_mux(zero_hi, lo, hi)
+            for lo, hi in zip(count_lo, count_hi, strict=True)
+        ]
         return merged + [zero_hi], zero
 
     msb_first = list(reversed(padded))

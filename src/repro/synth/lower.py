@@ -183,7 +183,7 @@ class _Lowerer:
             a = self._fit(kids[0], width, modular=True)
             b = self._fit(kids[1], width, modular=True)
             kind = {"AND": "AND", "OR": "OR", "XOR": "XOR"}[op.name]
-            bits = [nl.add_gate(kind, x, y) for x, y in zip(a, b)]
+            bits = [nl.add_gate(kind, x, y) for x, y in zip(a, b, strict=True)]
             return Signal(bits, signed=False)
 
         if op is ops.NOT:

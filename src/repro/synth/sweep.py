@@ -119,7 +119,7 @@ def area_delay_sweep(
     — per-point provenance, dominance filtering, weighted mode — use
     :func:`repro.solve.pareto.pareto_front` directly.
     """
-    from repro.solve.pareto import sweep_points
+    from repro.solve.pareto import sweep_points  # lint: ok(AR-LAYER): back-compat wrapper; the sweep implementation moved up into solve and this shim forwards to it
 
     return sweep_points(
         expr, input_ranges, points=points, slack_factor=slack_factor

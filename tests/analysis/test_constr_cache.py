@@ -55,7 +55,7 @@ def _run(specs, constr_cache: bool):
 
     # Mutate constraint-class membership the way condition rewriting does:
     # merge each comparison with its mirrored form, then recheck.
-    for spec, cond in zip(specs, conds):
+    for spec, cond in zip(specs, conds, strict=True):
         egraph.union(egraph.add_expr(cond), egraph.add_expr(_flipped(spec, x)))
     egraph.rebuild()
     second = range_of(egraph, root)

@@ -85,7 +85,7 @@ def test_extraction_costs_agree(load):
     legacy, legacy_ids = _drive(LegacyEGraph, load)
     ex_flat = Extractor(flat, AstSizeCost())
     ex_legacy = Extractor(legacy, AstSizeCost())
-    for fid, lid in zip(flat_ids, legacy_ids):
+    for fid, lid in zip(flat_ids, legacy_ids, strict=True):
         assert ex_flat.cost_of(fid) == ex_legacy.cost_of(lid)
 
 
@@ -147,7 +147,7 @@ def test_saturation_runs_agree(steps):
     assert flat.node_count == legacy.node_count
     ex_flat = Extractor(flat, AstSizeCost())
     ex_legacy = Extractor(legacy, AstSizeCost())
-    for fid, lid in zip(flat_ids, legacy_ids):
+    for fid, lid in zip(flat_ids, legacy_ids, strict=True):
         assert ex_flat.cost_of(fid) == ex_legacy.cost_of(lid)
 
 

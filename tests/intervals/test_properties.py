@@ -121,7 +121,7 @@ def test_union_intersect_membership(ab, cd):
 @given(iset_and_member())
 def test_canonical_no_overlap_no_adjacency(ab):
     a, _ = ab
-    for left, right in zip(a.parts, a.parts[1:]):
+    for left, right in zip(a.parts, a.parts[1:], strict=False):
         assert left.hi + 1 < right.lo, f"non-canonical: {a}"
 
 

@@ -1,0 +1,124 @@
+"""Concurrency checker: synthetic worker races plus the real repo staying clean."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.concurrency import check_concurrency
+from repro.lint.model import SourceTree, load_source_tree
+
+ENTRIES = {"repro.pipeline.session": ("execute_job",)}
+
+
+def rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+class TestSyntheticRaces:
+    def test_direct_write_in_worker_is_flagged(self):
+        t = SourceTree.from_sources(
+            {
+                "repro.pipeline.session":
+                    "CACHE = {}\n\n"
+                    "def execute_job(job):\n"
+                    "    CACHE[job] = 1\n",
+            }
+        )
+        [finding] = check_concurrency(t, ENTRIES)
+        assert finding.rule_id == "CC-SHARED"
+        assert finding.detail["target"] == "repro.pipeline.session.CACHE"
+
+    def test_write_through_callee_is_flagged(self):
+        # The race sits two hops down the call graph, in another module.
+        t = SourceTree.from_sources(
+            {
+                "repro.pipeline.session":
+                    "from repro.synth.cost import price\n\n"
+                    "def execute_job(job):\n"
+                    "    return price(job)\n",
+                "repro.synth.cost":
+                    "MEMO = {}\n\n"
+                    "def price(job):\n"
+                    "    MEMO[job] = 1\n"
+                    "    return MEMO[job]\n",
+            }
+        )
+        [finding] = check_concurrency(t, ENTRIES)
+        assert finding.detail["target"] == "repro.synth.cost.MEMO"
+
+    def test_mutator_method_call_is_flagged(self):
+        t = SourceTree.from_sources(
+            {
+                "repro.pipeline.session":
+                    "SEEN = set()\n\n"
+                    "def execute_job(job):\n"
+                    "    SEEN.add(job)\n",
+            }
+        )
+        assert rule_ids(check_concurrency(t, ENTRIES)) == {"CC-SHARED"}
+
+    def test_global_statement_rebind_is_flagged(self):
+        t = SourceTree.from_sources(
+            {
+                "repro.pipeline.session":
+                    "COUNT = 0\n\n"
+                    "def execute_job(job):\n"
+                    "    global COUNT\n"
+                    "    COUNT = COUNT + 1\n",
+            }
+        )
+        assert rule_ids(check_concurrency(t, ENTRIES)) == {"CC-SHARED"}
+
+    def test_local_mutation_is_clean(self):
+        t = SourceTree.from_sources(
+            {
+                "repro.pipeline.session":
+                    "def execute_job(job):\n"
+                    "    memo = {}\n"
+                    "    memo[job] = 1\n"
+                    "    return memo\n",
+            }
+        )
+        assert check_concurrency(t, ENTRIES) == []
+
+    def test_write_outside_worker_reachability_is_clean(self):
+        # A registry decorated at import time mutates module state, but no
+        # worker entry point ever reaches it.
+        t = SourceTree.from_sources(
+            {
+                "repro.pipeline.session":
+                    "def execute_job(job):\n"
+                    "    return job\n",
+                "repro.designs.registry":
+                    "TABLE = {}\n\n"
+                    "def register(design):\n"
+                    "    TABLE[design] = design\n",
+            }
+        )
+        assert check_concurrency(t, ENTRIES) == []
+
+    def test_audited_write_is_clean(self):
+        t = SourceTree.from_sources(
+            {
+                "repro.pipeline.session":
+                    "from repro.rewrites.rulesets import compose\n\n"
+                    "def execute_job(job):\n"
+                    "    return compose(job)\n",
+                "repro.rewrites.rulesets":
+                    "_COMPOSE_CACHE = {}\n\n"
+                    "def compose(key):\n"
+                    "    _COMPOSE_CACHE[key] = key\n"
+                    "    return _COMPOSE_CACHE[key]\n",
+            }
+        )
+        assert check_concurrency(t, ENTRIES) == []
+
+
+class TestRealRepo:
+    @pytest.fixture(scope="class")
+    def repo_tree(self):
+        return load_source_tree()
+
+    def test_worker_reachable_writes_are_all_audited(self, repo_tree):
+        findings = check_concurrency(repo_tree)
+        assert findings == [], [f.fid for f in findings]

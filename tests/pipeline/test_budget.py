@@ -341,6 +341,15 @@ def governed_pipeline(stages, budget, clock):
 
 
 class TestGovernedStages:
+    def test_stage_timings_use_the_injected_clock(self):
+        """`repro lint`'s AR-CLOCK rule exists so this works: stage wall
+        times are measured on the injectable clock, not a bare
+        ``time.perf_counter()``, making timing-sensitive behaviour
+        reproducible under a fake clock."""
+        clock = FakeClock(tick=1.0)
+        ctx = Pipeline([Ingest(roots={"out": chain(3)})]).run(clock=clock)
+        assert ctx.timings == [("ingest", 1.0)]
+
     def test_nested_saturates_share_one_deadline(self):
         """The double-charging regression: two Saturate stages under a 1s
         governor spend ~1s *total*, not 1s each.  Before the governor each

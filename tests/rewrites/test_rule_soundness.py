@@ -98,7 +98,7 @@ def test_all_rules_preserve_semantics(seed):
         for env in envs:
             values = [evaluate(m, env) for m in members]
             baseline = values[0]
-            for member, value in zip(members[1:], values[1:]):
+            for member, value in zip(members[1:], values[1:], strict=True):
                 assert value == baseline, (
                     f"class {eclass.id} members disagree under {env}:\n"
                     f"  {members[0]!r} = {baseline!r}\n  {member!r} = {value!r}"

@@ -31,7 +31,7 @@ class TestComposeMemo:
         second = compose_rules()
         assert first is not second  # fresh list per call...
         assert len(first) == len(second)
-        for a, b in zip(first, second):
+        for a, b in zip(first, second, strict=True):
             assert a is b  # ...over shared stateless rule objects
 
     def test_caller_mutation_does_not_poison_the_cache(self):

@@ -68,14 +68,14 @@ class TestCanonicalDigestProperties:
     def test_alpha_renaming_and_commuting_preserve_the_digest(
         self, expr, perm, flips
     ):
-        mapping = dict(zip(NAMES, perm))
+        mapping = dict(zip(NAMES, perm, strict=True))
         twisted = _commute(_rename(expr, mapping), lambda: flips.random() < 0.5)
         assert canonical_digest(expr) == canonical_digest(twisted)
 
     @settings(max_examples=100, deadline=None)
     @given(expr=EXPRS, perm=PERMUTATIONS)
     def test_renaming_carries_range_constraints_along(self, expr, perm):
-        mapping = dict(zip(NAMES, perm))
+        mapping = dict(zip(NAMES, perm, strict=True))
         ranges = {"x": IntervalSet.of(1, 5)}
         renamed_ranges = {mapping["x"]: IntervalSet.of(1, 5)}
         assert canonical_digest(expr, ranges) == canonical_digest(

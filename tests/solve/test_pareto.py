@@ -40,7 +40,7 @@ class TestParetoFront:
         assert front.status == "optimal"
         assert front.tags == 3
         assert len(front.points) >= 2
-        for earlier, later in zip(front.points, front.points[1:]):
+        for earlier, later in zip(front.points, front.points[1:], strict=False):
             assert earlier.delay < later.delay
             assert earlier.area > later.area  # dominated points filtered
         assert all(p.provenance == "optimal" for p in front.points)
@@ -80,7 +80,7 @@ class TestParetoFront:
     def test_eval_quota_degrades_provenance_not_correctness(self):
         front = pareto_front(adder_tree(), mode="epsilon", points=6, max_evals=3)
         assert front.status in ("incumbent", "greedy")
-        for earlier, later in zip(front.points, front.points[1:]):
+        for earlier, later in zip(front.points, front.points[1:], strict=False):
             assert earlier.delay < later.delay and earlier.area > later.area
 
     def test_expired_deadline_keeps_anchor_points(self):
@@ -98,7 +98,7 @@ class TestSweepWrapper:
         expr = adder_tree()
         points = area_delay_sweep(expr, points=8)
         assert len(points) == 8
-        for earlier, later in zip(points, points[1:]):
+        for earlier, later in zip(points, points[1:], strict=False):
             assert later.area <= earlier.area + 1e-9
         for point in points:
             if point.met:
@@ -123,7 +123,7 @@ class TestSweepWrapper:
         roots = module_to_ir(design.verilog)
         expr = roots[design.output]
         points = area_delay_sweep(expr, design.input_ranges, points=6)
-        for earlier, later in zip(points, points[1:]):
+        for earlier, later in zip(points, points[1:], strict=False):
             assert later.area <= earlier.area + 1e-9
 
 

@@ -87,7 +87,7 @@ class TestSweep:
         design = mux(gt(X, Y), X - Y, Y - X) + (X >> S)
         points = area_delay_sweep(design, points=6)
         areas = [p.area for p in points]
-        assert all(l <= t + 1e-9 for t, l in zip(areas, areas[1:]))
+        assert all(l <= t + 1e-9 for t, l in zip(areas, areas[1:], strict=False))
         assert all(p.met for p in points)
 
     @pytest.mark.parametrize("design", DESIGNS, ids=lambda d: repr(d)[:40])
@@ -98,7 +98,7 @@ class TestSweep:
         points = area_delay_sweep(design, points=8)
         areas = [p.area for p in points]
         assert all(
-            loose <= tight + 1e-9 for tight, loose in zip(areas, areas[1:])
+            loose <= tight + 1e-9 for tight, loose in zip(areas, areas[1:], strict=False)
         ), f"non-monotone sweep areas {areas}"
         # ``met`` stays honest on substituted points too.
         for point in points:

@@ -7,6 +7,10 @@ and the stage imports them at module level.  Each entry point here is
 imported in its *own* fresh interpreter — inside the test process every
 module is already in ``sys.modules``, which is exactly how import cycles
 hide from an ordinary test suite.
+
+The entry-point list and the layer map both live in
+:mod:`repro.lint.arch` (the static analyzer), so this dynamic check and
+``repro lint``'s static one cannot drift apart.
 """
 
 from __future__ import annotations
@@ -16,20 +20,7 @@ import sys
 
 import pytest
 
-#: Module entry points that must import from a cold interpreter, in
-#: whatever order a consumer picks them.
-ENTRY_POINTS = [
-    "repro",
-    "repro.pipeline.stages",
-    "repro.pipeline",
-    "repro.opt",
-    "repro.opt.report",
-    "repro.synth.treecost",
-    "repro.solve",
-    "repro.solve.extract_opt",
-    "repro.synth.sweep",
-    "repro.cli",
-]
+from repro.lint.arch import ENTRY_POINTS
 
 
 @pytest.mark.parametrize("module", ENTRY_POINTS)
